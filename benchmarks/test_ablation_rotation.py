@@ -1,0 +1,67 @@
+"""Ablation: per-packet source rotation vs per-flow state defences.
+
+A zombie that rotates its claimed source every packet turns one flood
+into a stream of one-packet flows.  MAFIC's tables never converge on
+such traffic (each packet faces the Bernoulli(Pd) gate), and per-flow
+fair queueing at the victim cannot isolate it either (every "flow" is
+new).  This bench quantifies both effects — the open problem the paper
+leaves for table-less defences.
+"""
+
+from conftest import run_once
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def _run_pair():
+    stable = run_experiment(
+        ExperimentConfig(
+            total_flows=24, n_routers=12, seed=191,
+            spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET),
+        )
+    )
+    rotating = run_experiment(
+        ExperimentConfig(
+            total_flows=24, n_routers=12, seed=191,
+            spoofing=SpoofingModel(
+                mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True
+            ),
+        )
+    )
+    return stable, rotating
+
+
+class TestRotationAblation:
+    def test_rotation_degrades_to_gate_probability(self, benchmark):
+        stable, rotating = run_once(benchmark, _run_pair)
+        print()
+        for label, run in (("stable", stable), ("rotating", rotating)):
+            admissions = sum(
+                a.tables.counters.sft_admissions
+                for a in run.scenario.agents.values()
+            )
+            print(
+                f"{label:>9}: alpha={100 * run.summary.accuracy:6.2f}%  "
+                f"theta_n={100 * run.summary.false_negative_rate:5.2f}%  "
+                f"sft-admissions={admissions}"
+            )
+
+        pd = stable.config.mafic.drop_probability
+        # Stable sources: near-total suppression.
+        assert stable.summary.accuracy > 0.97
+        # Rotation: suppression collapses to ~Pd — the gate is all
+        # that's left once tables can't converge.
+        assert abs(rotating.summary.accuracy - pd) < 0.08
+        # And the tables bloat with one-packet flows (the storage
+        # pressure that motivates hashed labels).
+        stable_admissions = sum(
+            a.tables.counters.sft_admissions
+            for a in stable.scenario.agents.values()
+        )
+        rotating_admissions = sum(
+            a.tables.counters.sft_admissions
+            for a in rotating.scenario.agents.values()
+        )
+        assert rotating_admissions > 10 * max(1, stable_admissions)

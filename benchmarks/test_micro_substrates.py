@@ -1,0 +1,80 @@
+"""Microbenchmarks of the hot substrate paths.
+
+Not figures from the paper — these track the simulator's own cost so
+regressions in the event loop, the sketches, or the agent's per-packet
+path show up in CI.
+"""
+
+import numpy as np
+
+from repro.core.config import MaficConfig
+from repro.core.mafic import MaficAgent
+from repro.counting.loglog import LogLogCounter
+from repro.sim.engine import Simulator
+from repro.sim.node import Router
+from repro.sim.packet import FlowKey, Packet
+
+
+class TestEngineThroughput:
+    def test_event_loop(self, benchmark):
+        def spin():
+            sim = Simulator()
+
+            def tick(remaining):
+                if remaining:
+                    sim.schedule(0.001, tick, remaining - 1)
+
+            tick(20_000)
+            sim.run()
+            return sim.events_executed
+
+        executed = benchmark(spin)
+        assert executed == 20_000
+
+
+class TestLogLogThroughput:
+    def test_insert_rate(self, benchmark):
+        counter = LogLogCounter(k=11)
+
+        def insert():
+            for i in range(5_000):
+                counter.add(i)
+            return counter.estimate()
+
+        estimate = benchmark(insert)
+        assert estimate > 0
+
+    def test_union_transform(self, benchmark):
+        a, b = LogLogCounter(k=11), LogLogCounter(k=11)
+        for i in range(5_000):
+            a.add(i)
+            b.add(i + 2_500)
+
+        result = benchmark(lambda: a.intersection_estimate(b))
+        assert result > 0
+
+
+class TestAgentDataPath:
+    def test_per_packet_decision(self, benchmark):
+        sim = Simulator()
+        agent = MaficAgent(
+            sim,
+            Router(sim, "atr"),
+            victim_matcher=lambda ip: True,
+            config=MaficConfig(drop_probability=0.5),
+            rng=np.random.default_rng(0),
+        )
+        agent.activate(0.0)
+        packets = [
+            Packet(flow=FlowKey(i % 50, 1, i % 1000, 80), seq=i)
+            for i in range(2_000)
+        ]
+
+        def drive():
+            decisions = 0
+            for i, packet in enumerate(packets):
+                agent.on_packet(packet, None, i * 1e-4)
+                decisions += 1
+            return decisions
+
+        assert benchmark(drive) == 2_000

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Study MAFIC across the IP-spoofing spectrum of Section III.A.
+
+The paper frames two extremes — all attack sources illegal/unreachable
+vs. all "legitimate" (valid subnet addresses, just not the attacker's) —
+and targets the regime in between.  This example sweeps that spectrum,
+plus the per-packet source-rotation stress case, and shows which MAFIC
+mechanism does the work in each regime:
+
+* illegal sources  -> the PDT legality shortcut kills them on sight;
+* legal spoofing   -> the probe (drop + forged dup-ACKs) catches their
+                      unresponsiveness;
+* rotation         -> every packet is a fresh one-packet flow; the Pd
+                      gate alone must carry the defence.
+
+Run:  python examples/spoofing_study.py
+"""
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics.collectors import FlowTruth
+
+REGIMES = [
+    ("all illegal", SpoofingModel(mode=SpoofMode.ILLEGAL)),
+    ("mixed 50/50", SpoofingModel(mode=SpoofMode.MIXED, illegal_fraction=0.5)),
+    ("mixed 25% bad", SpoofingModel(mode=SpoofMode.MIXED, illegal_fraction=0.25)),
+    ("all legal", SpoofingModel(mode=SpoofMode.LEGIT_SUBNET)),
+    ("no spoofing", SpoofingModel(mode=SpoofMode.NONE)),
+    (
+        "rotating",
+        SpoofingModel(mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True),
+    ),
+]
+
+
+def main() -> None:
+    header = (
+        f"{'regime':<14} {'accuracy%':>10} {'theta_n%':>9} {'Lr%':>7} "
+        f"{'illegal-drops':>14} {'pdt-drops':>10} {'probe-drops':>12}"
+    )
+    print("Sweeping the spoofing spectrum (same attack, same seed)...\n")
+    print(header)
+    print("-" * len(header))
+    for name, model in REGIMES:
+        config = ExperimentConfig(
+            total_flows=24, n_routers=12, seed=23, spoofing=model
+        )
+        result = run_experiment(config)
+        attack = result.scenario.defense_collector.of(FlowTruth.ATTACK)
+        s = result.summary
+        print(
+            f"{name:<14} {100 * s.accuracy:>10.2f} "
+            f"{100 * s.false_negative_rate:>9.2f} "
+            f"{100 * s.legit_drop_rate:>7.2f} "
+            f"{attack.dropped_illegal:>14} {attack.dropped_pdt:>10} "
+            f"{attack.dropped_probe:>12}"
+        )
+
+    print(
+        "\nReading: with illegal sources the PDT shortcut dominates"
+        "\n(illegal-drops column); with valid spoofed sources the probe"
+        "\nverdict machinery takes over (pdt-drops column); under rotation"
+        "\neach packet is a new flow, so suppression rides on the Pd gate"
+        "\n(probe-drops column) — the paper's motivation for combining all"
+        "\nthree mechanisms."
+    )
+
+
+if __name__ == "__main__":
+    main()

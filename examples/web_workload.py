@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""User-visible impact: flow completion of short transfers ("mice")
+under DDoS, with and without MAFIC.
+
+The paper measures packet-level rates; a web user experiences latency
+and failures.  This example runs a churning population of short TCP
+transfers against a capacity-limited victim in three worlds — calm,
+heavy flood undefended, heavy flood with MAFIC — and compares completion
+counts and flow-completion-time (FCT) percentiles.
+
+Two honest effects appear:
+
+* **Undefended collapse** — the flood starves the mice: most transfers
+  never finish inside the run (the few that complete are the lucky
+  early ones, so their FCTs look deceptively low).
+* **MAFIC's probe tax** — every new flow pays roughly one probe window
+  (its first packets are dropped until the verdict clears it), so mice
+  FCT under MAFIC sits above calm.  The defence buys *completion* at
+  the price of ~1 s of first-packet latency; the paper's long-lived
+  flows amortize that tax, short mice do not.  (Whitelisting
+  established prefixes — the paper's future-work direction — would
+  remove it.)
+
+Run:  python examples/web_workload.py
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.config import DefenseKind
+from repro.experiments.scenario import build_scenario
+from repro.experiments.workload import DynamicWorkload, DynamicWorkloadConfig
+
+
+def run_world(label, attack_fraction, defense, seed=47):
+    config = ExperimentConfig(
+        total_flows=20,
+        n_routers=12,
+        duration=5.0,
+        attack_fraction=attack_fraction,
+        defense=defense,
+        victim_bandwidth_bps=10e6,  # the flood exceeds this: real pain
+        rate_bps=2e6,
+        seed=seed,
+    )
+    scenario = build_scenario(config)
+    workload = DynamicWorkload(
+        DynamicWorkloadConfig(arrival_rate=10.0, mean_segments=8,
+                              stop_time=4.2),
+        rng=np.random.default_rng(seed),
+    )
+    workload.install(scenario)
+    scenario.sim.run(until=config.duration)
+    return label, workload
+
+
+def main() -> None:
+    print("Running three worlds (same mice, same seeds)...\n")
+    worlds = [
+        run_world("calm (no attack)", 0.02, DefenseKind.NONE),
+        run_world("flooded, undefended", 0.5, DefenseKind.NONE),
+        run_world("flooded, MAFIC", 0.5, DefenseKind.MAFIC),
+    ]
+
+    header = (
+        f"{'world':<22} {'mice':>6} {'completed':>10} {'mean FCT':>10} "
+        f"{'p50':>8} {'p95':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, workload in worlds:
+        done = len(workload.completed())
+        total = len(workload.records)
+        print(
+            f"{label:<22} {total:>6} {done:>7} "
+            f"({100 * done / total:>3.0f}%) "
+            f"{workload.mean_fct() * 1e3:>6.0f}ms "
+            f"{workload.fct_percentile(50) * 1e3:>6.0f}ms "
+            f"{workload.fct_percentile(95) * 1e3:>6.0f}ms"
+        )
+
+    print(
+        "\nReading: undefended, the flood starves most mice (low completion"
+        "\ncount; the few finishers are early-arriving survivors, which is"
+        "\nwhy their FCT looks deceptively small).  MAFIC restores"
+        "\ncompletion for ~85% of mice at a ~1 s probe tax per new flow —"
+        "\nthe cost of judging every flow before trusting it."
+    )
+
+
+if __name__ == "__main__":
+    main()

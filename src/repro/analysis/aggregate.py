@@ -1,0 +1,121 @@
+"""Multi-seed aggregation of experiment results.
+
+One seed gives one sample of each metric; :func:`run_seeds` runs a config
+across seeds and :func:`aggregate_runs` folds the samples into means with
+confidence intervals (Student-t when scipy is available, normal
+approximation otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.util.stats import RunningStats
+
+_METRIC_NAMES = (
+    "accuracy",
+    "traffic_reduction",
+    "false_positive_rate",
+    "false_negative_rate",
+    "legit_drop_rate",
+)
+
+
+@dataclass
+class MetricStats:
+    """Mean, spread, and confidence half-width of one metric."""
+
+    name: str
+    mean: float
+    stddev: float
+    n: int
+    ci_halfwidth: float
+
+    @property
+    def low(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def high(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.ci_halfwidth
+
+
+@dataclass
+class AggregatedMetrics:
+    """All five paper metrics aggregated over seeds."""
+
+    metrics: dict[str, MetricStats] = field(default_factory=dict)
+    n_runs: int = 0
+
+    def __getitem__(self, name: str) -> MetricStats:
+        return self.metrics[name]
+
+    def as_percent_table(self) -> str:
+        """Formatted 'metric  mean% +/- ci%' table."""
+        lines = [f"{'metric':<22} {'mean%':>9} {'+/-':>8}  (n={self.n_runs})"]
+        for name in _METRIC_NAMES:
+            stats = self.metrics[name]
+            lines.append(
+                f"{name:<22} {100 * stats.mean:>9.3f} "
+                f"{100 * stats.ci_halfwidth:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    """Two-sided t critical value; scipy when present, normal z fallback."""
+    try:
+        from scipy import stats as scipy_stats
+
+        return float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+    except ImportError:  # pragma: no cover - scipy is a declared dev dep
+        return {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence, 1.96)
+
+
+def run_seeds(
+    config: ExperimentConfig, seeds: list[int]
+) -> list[ExperimentResult]:
+    """Run ``config`` once per seed."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    return [run_experiment(config.with_overrides(seed=s)) for s in seeds]
+
+
+def aggregate_runs(
+    runs: list[ExperimentResult], confidence: float = 0.95
+) -> AggregatedMetrics:
+    """Fold runs into per-metric means with t confidence intervals."""
+    if not runs:
+        raise ValueError("runs must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    aggregated = AggregatedMetrics(n_runs=len(runs))
+    for name in _METRIC_NAMES:
+        stats = RunningStats()
+        for run in runs:
+            stats.update(getattr(run.summary, name))
+        if stats.count >= 2:
+            # Sample (not population) stddev for the CI.
+            sample_var = stats.variance * stats.count / (stats.count - 1)
+            sample_sd = math.sqrt(sample_var)
+            halfwidth = (
+                _t_critical(stats.count - 1, confidence)
+                * sample_sd
+                / math.sqrt(stats.count)
+            )
+        else:
+            sample_sd = 0.0
+            halfwidth = 0.0
+        aggregated.metrics[name] = MetricStats(
+            name=name,
+            mean=stats.mean,
+            stddev=sample_sd,
+            n=stats.count,
+            ci_halfwidth=halfwidth,
+        )
+    return aggregated

@@ -1,0 +1,60 @@
+"""Steady-state detection on time series.
+
+Used to answer "has the victim's arrival rate settled after the cut?"
+(Fig 4(b)'s qualitative claim) with a quantitative rule: a series is
+*converged* over a window when its values stay within a relative band
+around the window mean.
+"""
+
+from __future__ import annotations
+
+
+def converged(
+    values: list[float],
+    window: int = 5,
+    tolerance: float = 0.15,
+) -> bool:
+    """True when the last ``window`` values stay within ``tolerance``
+    (relative) of their own mean.
+
+    A zero-mean window counts as converged only if every value is zero.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    if not 0.0 < tolerance:
+        raise ValueError("tolerance must be positive")
+    if len(values) < window:
+        return False
+    tail = values[-window:]
+    mean = sum(tail) / window
+    if mean == 0.0:
+        return all(v == 0.0 for v in tail)
+    return all(abs(v - mean) <= tolerance * abs(mean) for v in tail)
+
+
+def settling_time(
+    times: list[float],
+    values: list[float],
+    window: int = 5,
+    tolerance: float = 0.15,
+) -> float | None:
+    """Earliest time from which the series stays converged, or None.
+
+    Scans forward: returns the time of the first sample of the earliest
+    window after which *every* suffix window is converged.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must be the same length")
+    n = len(values)
+    if n < window:
+        return None
+    # Find the first index i such that values[j:j+window] is converged
+    # for every j >= i with a full window.
+    last_bad = -1
+    for j in range(n - window + 1):
+        if not converged(values[j : j + window], window, tolerance):
+            last_bad = j
+    first_good = last_bad + 1
+    if first_good > n - window:
+        return None
+    return times[first_good]

@@ -1,0 +1,76 @@
+"""Export results to CSV/JSON for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.figures import FigureResult
+from repro.metrics.rates import MetricsSummary
+
+
+def summary_to_dict(summary: MetricsSummary) -> dict[str, Any]:
+    """A JSON-friendly dict of one run's summary."""
+    return {
+        "accuracy": summary.accuracy,
+        "traffic_reduction": summary.traffic_reduction,
+        "false_positive_rate": summary.false_positive_rate,
+        "false_negative_rate": summary.false_negative_rate,
+        "legit_drop_rate": summary.legit_drop_rate,
+        "attack_examined": summary.attack_examined,
+        "attack_dropped": summary.attack_dropped,
+        "wellbehaved_examined": summary.wellbehaved_examined,
+        "wellbehaved_dropped": summary.wellbehaved_dropped,
+        "total_examined": summary.total_examined,
+        "victim_rate_before_bps": summary.victim_rate_before_bps,
+        "victim_rate_after_bps": summary.victim_rate_after_bps,
+    }
+
+
+def figure_to_dict(figure: FigureResult) -> dict[str, Any]:
+    """A JSON-friendly dict of one reproduced figure."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "series": {
+            name: [[x, y] for x, y in points]
+            for name, points in figure.series.items()
+        },
+    }
+
+
+def figure_to_csv(figure: FigureResult) -> list[list[Any]]:
+    """Rows (header first) of a wide CSV: x column + one column/series."""
+    names = list(figure.series)
+    xs: list[float] = []
+    for name in names:
+        for x, _ in figure.series[name]:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lookup = {name: dict(figure.series[name]) for name in names}
+    rows: list[list[Any]] = [["x", *names]]
+    for x in xs:
+        rows.append([x, *(lookup[name].get(x, "") for name in names)])
+    return rows
+
+
+def write_csv(figure: FigureResult, path: str | Path) -> Path:
+    """Write one figure as CSV; returns the path."""
+    target = Path(path)
+    with target.open("w", newline="", encoding="utf-8") as f:
+        csv.writer(f).writerows(figure_to_csv(figure))
+    return target
+
+
+def write_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write any JSON-friendly payload; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return target

@@ -1,0 +1,129 @@
+"""Derived views over an :class:`~repro.sim.trace.EventTrace`.
+
+Turns the flat event log into the operational questions an operator
+asks: how long from probe to verdict, how busy was each ATR, what is the
+drop-reason mix over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import EventTrace
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class ProbeLatency:
+    """One flow's probe-to-verdict interval."""
+
+    flow: int
+    probed_at: float
+    verdict_at: float
+    verdict: str  # "nice" | "cut"
+
+    @property
+    def latency(self) -> float:
+        """Seconds from first probe to verdict."""
+        return self.verdict_at - self.probed_at
+
+
+def probe_to_verdict_latencies(trace: EventTrace) -> list[ProbeLatency]:
+    """Pair each flow's first probe with its first verdict."""
+    first_probe: dict[int, float] = {}
+    for record in trace.select("probe.sent"):
+        flow = record.detail.get("flow")
+        if flow is not None and flow not in first_probe:
+            first_probe[flow] = record.time
+    results: list[ProbeLatency] = []
+    seen: set[int] = set()
+    for record in trace:
+        if record.category not in ("flow.nice", "flow.cut"):
+            continue
+        flow = record.detail.get("flow")
+        if flow is None or flow in seen or flow not in first_probe:
+            continue
+        seen.add(flow)
+        results.append(
+            ProbeLatency(
+                flow=flow,
+                probed_at=first_probe[flow],
+                verdict_at=record.time,
+                verdict="nice" if record.category == "flow.nice" else "cut",
+            )
+        )
+    return results
+
+
+def latency_stats(latencies: list[ProbeLatency]) -> RunningStats:
+    """Fold latencies into RunningStats (mean/min/max/stddev)."""
+    stats = RunningStats()
+    for item in latencies:
+        stats.update(item.latency)
+    return stats
+
+
+@dataclass
+class AtrActivity:
+    """One ATR's activity summary from the trace."""
+
+    atr: str
+    activated_at: float | None = None
+    deactivated_at: float | None = None
+    probes: int = 0
+    drops_by_reason: dict[str, int] = field(default_factory=dict)
+    verdicts_nice: int = 0
+    verdicts_cut: int = 0
+
+
+def atr_activity(trace: EventTrace) -> dict[str, AtrActivity]:
+    """Per-ATR summary of everything traced."""
+    activity: dict[str, AtrActivity] = {}
+
+    def entry(name: str) -> AtrActivity:
+        if name not in activity:
+            activity[name] = AtrActivity(atr=name)
+        return activity[name]
+
+    for record in trace:
+        atr = record.detail.get("atr")
+        if atr is None:
+            continue
+        item = entry(atr)
+        if record.category == "pushback.start" and item.activated_at is None:
+            item.activated_at = record.time
+        elif record.category == "pushback.stop":
+            item.deactivated_at = record.time
+        elif record.category == "probe.sent":
+            item.probes += 1
+        elif record.category.startswith("drop."):
+            reason = record.category.split(".", 1)[1]
+            item.drops_by_reason[reason] = (
+                item.drops_by_reason.get(reason, 0) + 1
+            )
+        elif record.category == "flow.nice":
+            item.verdicts_nice += 1
+        elif record.category == "flow.cut":
+            item.verdicts_cut += 1
+    return activity
+
+
+def drop_reason_timeline(
+    trace: EventTrace, bin_width: float = 0.25
+) -> dict[str, list[tuple[float, int]]]:
+    """reason -> [(bin centre, drop count)] over the whole trace."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    buckets: dict[str, dict[int, int]] = {}
+    for record in trace.select("drop."):
+        reason = record.category.split(".", 1)[1]
+        index = int(record.time / bin_width)
+        per_reason = buckets.setdefault(reason, {})
+        per_reason[index] = per_reason.get(index, 0) + 1
+    timeline: dict[str, list[tuple[float, int]]] = {}
+    for reason, bins in buckets.items():
+        timeline[reason] = [
+            ((index + 0.5) * bin_width, count)
+            for index, count in sorted(bins.items())
+        ]
+    return timeline

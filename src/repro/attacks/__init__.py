@@ -1,0 +1,26 @@
+"""DDoS attack orchestration: spoofing models, zombies, and scenarios.
+
+The paper targets attacks "lying somewhere in between" two extremes of IP
+spoofing — some claimed sources are bogus, some are "legitimate" (valid
+addresses of real subnets, though not the attacker's own).  The spoofing
+models here span that spectrum; zombies are unresponsive senders wired to
+a spoofer; scenarios place zombies across the domain's ingress routers.
+"""
+
+from repro.attacks.spoofing import (
+    SpoofingModel,
+    SpoofMode,
+    make_spoofer,
+)
+from repro.attacks.zombie import Zombie, ZombieConfig
+from repro.attacks.scenarios import AttackScenario, AttackScenarioConfig
+
+__all__ = [
+    "AttackScenario",
+    "AttackScenarioConfig",
+    "SpoofMode",
+    "SpoofingModel",
+    "Zombie",
+    "ZombieConfig",
+    "make_spoofer",
+]

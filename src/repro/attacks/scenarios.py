@@ -1,0 +1,124 @@
+"""Attack scenarios: placing and scheduling zombies across the domain.
+
+A scenario takes a built :class:`~repro.sim.topology.Topology`, a zombie
+count, and per-zombie behaviour, and instantiates the zombies on source
+hosts spread over the ingress routers (round-robin by default, or
+concentrated on a subset — the paper's ATR identification only flags
+ingresses that actually carry attack flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.attacks.zombie import Zombie, ZombieConfig
+from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.topology import Topology
+
+
+@dataclass
+class AttackScenarioConfig:
+    """How many zombies, where, and when."""
+
+    n_zombies: int = 10
+    zombie: ZombieConfig = field(default_factory=ZombieConfig)
+    start_time: float = 1.0
+    stop_time: float | None = None  # None = never stops
+    ingress_subset: list[str] | None = None  # None = all ingresses
+    start_jitter: float = 0.05  # uniform start spread (seconds)
+
+    def __post_init__(self) -> None:
+        if self.n_zombies < 0:
+            raise ValueError("n_zombies must be >= 0")
+        check_non_negative("start_time", self.start_time)
+        check_non_negative("start_jitter", self.start_jitter)
+        if self.stop_time is not None and self.stop_time < self.start_time:
+            raise ValueError("stop_time must be >= start_time")
+
+
+class AttackScenario:
+    """Instantiated zombies plus their schedule."""
+
+    def __init__(
+        self,
+        topology: "Topology",
+        config: AttackScenarioConfig,
+        victim_port: int,
+        rng,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.zombies: list[Zombie] = []
+        victim_ip = topology.victim_host.address
+
+        ingress_names = (
+            config.ingress_subset
+            if config.ingress_subset is not None
+            else list(topology.ingress_names)
+        )
+        if config.n_zombies > 0 and not ingress_names:
+            raise ValueError("no ingress routers available for zombies")
+        for name in ingress_names:
+            if name not in topology.ingress_names:
+                raise ValueError(f"unknown ingress router: {name}")
+
+        for i in range(config.n_zombies):
+            ingress = ingress_names[i % len(ingress_names)]
+            host_name = f"src{topology.ingress_names.index(ingress)}"
+            host = topology.hosts[host_name]
+            zombie = Zombie(
+                sim=topology.sim,
+                host=host,
+                victim_ip=victim_ip,
+                victim_port=victim_port,
+                config=config.zombie,
+                address_space=topology.address_space,
+                rng=rng,
+            )
+            self.zombies.append(zombie)
+
+        self._rng = rng
+        self._scheduled = False
+
+    @property
+    def atr_ground_truth(self) -> set[str]:
+        """Ingress routers that actually host zombies (the true ATR set)."""
+        names: set[str] = set()
+        ingress_names = (
+            self.config.ingress_subset
+            if self.config.ingress_subset is not None
+            else list(self.topology.ingress_names)
+        )
+        for i in range(len(self.zombies)):
+            names.add(ingress_names[i % len(ingress_names)])
+        return names
+
+    def attack_flow_hashes(self) -> set[int]:
+        """Wire-flow hashes of stable-source zombies (rotators excluded)."""
+        return {
+            z.wire_flow.hashed() for z in self.zombies if not z.rotates_sources
+        }
+
+    def schedule(self) -> None:
+        """Arm start (and optional stop) times on the simulator clock."""
+        if self._scheduled:
+            raise RuntimeError("scenario already scheduled")
+        self._scheduled = True
+        sim = self.topology.sim
+        for zombie in self.zombies:
+            jitter = (
+                float(self._rng.random()) * self.config.start_jitter
+                if self.config.start_jitter > 0
+                else 0.0
+            )
+            start_at = self.config.start_time + jitter
+            zombie.start(at=start_at)
+            if self.config.stop_time is not None:
+                sim.schedule_at(self.config.stop_time, zombie.stop)
+
+    def total_attack_packets_sent(self) -> int:
+        """Ground-truth attack volume emitted so far."""
+        return sum(z.stats.packets_sent for z in self.zombies)

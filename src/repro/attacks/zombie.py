@@ -1,0 +1,122 @@
+"""Zombie hosts: compromised machines flooding the victim.
+
+A zombie is an unresponsive sender (CBR or pulsing on-off) wired to a
+spoofing model.  It lives on a real host inside some ingress subnet, but
+the source addresses it claims are governed by its
+:class:`~repro.attacks.spoofing.SpoofingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.attacks.spoofing import SpoofingModel, make_spoofer
+from repro.sim.packet import FlowKey
+from repro.transport.udp import CbrSender, OnOffSender
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.address import AddressSpace
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Host
+
+
+@dataclass
+class ZombieConfig:
+    """One zombie's behaviour."""
+
+    rate_bps: float = 1e6
+    packet_size: int = 1000
+    spoofing: SpoofingModel = field(default_factory=SpoofingModel)
+    pulsing: bool = False  # on-off (shrew-style) instead of constant
+    mean_on: float = 0.3
+    mean_off: float = 0.3
+    jitter: float = 0.05  # CBR inter-packet jitter fraction
+
+    def __post_init__(self) -> None:
+        check_positive("rate_bps", self.rate_bps)
+        check_positive("packet_size", self.packet_size)
+        if self.pulsing and self.mean_on <= 0:
+            raise ValueError("pulsing zombies need mean_on > 0")
+
+
+class Zombie:
+    """A compromised host sending attack traffic toward the victim.
+
+    Builds the underlying unresponsive sender and exposes start/stop plus
+    its send statistics.  The flow's claimed source is whatever the
+    spoofing model dictates; ``src_port`` is drawn randomly so concurrent
+    zombies behind one host get distinct 4-tuples.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        victim_ip: int,
+        victim_port: int,
+        config: ZombieConfig,
+        address_space: "AddressSpace",
+        rng,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config
+        src_port = int(rng.integers(1024, 65536))
+        flow = FlowKey(host.address, victim_ip, src_port, victim_port)
+        spoof = make_spoofer(config.spoofing, address_space, rng, host.address)
+        if config.pulsing:
+            self.sender = OnOffSender(
+                sim,
+                host,
+                flow,
+                rate_bps=config.rate_bps,
+                packet_size=config.packet_size,
+                mean_on=config.mean_on,
+                mean_off=config.mean_off,
+                is_attack=True,
+                rng=rng,
+                spoof=spoof,
+            )
+        else:
+            self.sender = CbrSender(
+                sim,
+                host,
+                flow,
+                rate_bps=config.rate_bps,
+                packet_size=config.packet_size,
+                is_attack=True,
+                jitter=config.jitter,
+                rng=rng,
+                spoof=spoof,
+            )
+        # The flow identity on the wire (after stable spoofing) is fixed
+        # by the first packet; capture it for ground-truth bookkeeping.
+        probe_key = spoof(self._probe_packet(flow))
+        self.wire_flow: FlowKey = probe_key.flow
+        self._rotating = config.spoofing.rotate_per_packet
+
+    @staticmethod
+    def _probe_packet(flow: FlowKey):
+        from repro.sim.packet import Packet
+
+        return Packet(flow=flow)
+
+    @property
+    def rotates_sources(self) -> bool:
+        """True when the zombie changes its claimed source per packet."""
+        return self._rotating
+
+    def start(self, at: float | None = None) -> None:
+        """Begin flooding at absolute time ``at``."""
+        self.sender.start(at)
+
+    def stop(self) -> None:
+        """Stop flooding."""
+        self.sender.stop()
+
+    @property
+    def stats(self):
+        """The underlying sender's FlowStats."""
+        return self.sender.stats

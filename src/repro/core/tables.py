@@ -1,0 +1,189 @@
+"""The three MAFIC flow tables: SFT, NFT, PDT.
+
+* **SFT** (Suspicious Flow Table) — flows currently under probe: dropped
+  packets' timestamps, the pre-probe baseline rate, and the verdict timer.
+* **NFT** (Nice Flow Table) — flows that responded to the probe; passed
+  untouched from then on.
+* **PDT** (Permanently Drop Table) — flows judged unresponsive (or with
+  illegal sources); every packet dropped.
+
+Tables are keyed by :class:`~repro.core.labels.FlowLabel` (hashed
+4-tuples), never by raw addresses, per Section III.B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.labels import FlowLabel
+from repro.util.stats import WindowedRate
+
+
+class TableName(Enum):
+    """Which table a flow currently sits in."""
+
+    SFT = "sft"
+    NFT = "nft"
+    PDT = "pdt"
+
+
+@dataclass
+class SftEntry:
+    """Probe state of one suspicious flow."""
+
+    label: FlowLabel
+    probe_started: float
+    deadline: float
+    baseline_rate: float  # packets/s before the probe began
+    rtt_estimate: float | None = None
+    packets_seen: int = 0
+    packets_dropped: int = 0
+    monitor: WindowedRate | None = None
+    last_arrival: float | None = None
+
+
+@dataclass
+class NftEntry:
+    """A flow judged nice (TCP-friendly)."""
+
+    label: FlowLabel
+    admitted_at: float
+    probe_drops: int = 0  # packets it lost during its probe
+    packets_passed: int = 0
+
+
+@dataclass
+class PdtEntry:
+    """A flow condemned to permanent drop."""
+
+    label: FlowLabel
+    condemned_at: float
+    reason: str  # "unresponsive" | "illegal_source"
+    packets_dropped: int = 0
+
+
+@dataclass
+class TableCounters:
+    """Aggregate occupancy/traffic counters across the three tables."""
+
+    sft_admissions: int = 0
+    nft_admissions: int = 0
+    pdt_admissions: int = 0
+    sft_evictions: int = 0
+    pdt_evictions: int = 0
+    flushes: int = 0
+
+
+class FlowTables:
+    """The SFT/NFT/PDT triple with the transitions of Figure 2."""
+
+    def __init__(self) -> None:
+        self.sft: dict[FlowLabel, SftEntry] = {}
+        self.nft: dict[FlowLabel, NftEntry] = {}
+        self.pdt: dict[FlowLabel, PdtEntry] = {}
+        self.counters = TableCounters()
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, label: FlowLabel) -> TableName | None:
+        """Which table holds ``label``, or None when unknown.
+
+        Checked in PDT, NFT, SFT order — matching Figure 2's decision
+        chain (a condemned flow must stay condemned even if a stale SFT
+        entry lingers).
+        """
+        if label in self.pdt:
+            return TableName.PDT
+        if label in self.nft:
+            return TableName.NFT
+        if label in self.sft:
+            return TableName.SFT
+        return None
+
+    def __contains__(self, label: FlowLabel) -> bool:
+        return self.lookup(label) is not None
+
+    # --------------------------------------------------------- transitions
+
+    def admit_suspicious(self, entry: SftEntry) -> None:
+        """Start probing a new flow."""
+        if entry.label in self.sft:
+            raise ValueError(f"{entry.label} is already in the SFT")
+        if entry.label in self.pdt:
+            raise ValueError(f"{entry.label} is already condemned")
+        self.sft[entry.label] = entry
+        self.counters.sft_admissions += 1
+
+    def promote_to_nice(self, label: FlowLabel, now: float) -> NftEntry:
+        """SFT -> NFT: the flow responded to the probe."""
+        sft_entry = self.sft.pop(label, None)
+        if sft_entry is None:
+            raise KeyError(f"{label} is not in the SFT")
+        entry = NftEntry(
+            label=label,
+            admitted_at=now,
+            probe_drops=sft_entry.packets_dropped,
+        )
+        self.nft[label] = entry
+        self.counters.nft_admissions += 1
+        return entry
+
+    def condemn(self, label: FlowLabel, now: float, reason: str) -> PdtEntry:
+        """SFT (or nowhere) -> PDT: cut the flow permanently."""
+        self.sft.pop(label, None)
+        self.nft.pop(label, None)
+        existing = self.pdt.get(label)
+        if existing is not None:
+            return existing
+        entry = PdtEntry(label=label, condemned_at=now, reason=reason)
+        self.pdt[label] = entry
+        self.counters.pdt_admissions += 1
+        return entry
+
+    def demote_from_nice(self, label: FlowLabel) -> None:
+        """Remove an NFT verdict so the flow can be re-probed."""
+        self.nft.pop(label, None)
+
+    def flush(self) -> None:
+        """Clear everything — Figure 2's "End dropping & flush all tables"."""
+        self.sft.clear()
+        self.nft.clear()
+        self.pdt.clear()
+        self.counters.flushes += 1
+
+    # ------------------------------------------------------------ eviction
+
+    def evict_oldest_sft(self) -> SftEntry | None:
+        """Remove and return the longest-resident SFT entry (None if empty).
+
+        Dicts preserve insertion order, so the first key is the entry
+        admitted earliest.
+        """
+        for label in self.sft:
+            entry = self.sft.pop(label)
+            self.counters.sft_evictions += 1
+            return entry
+        return None
+
+    def evict_oldest_pdt(self) -> PdtEntry | None:
+        """Remove and return the longest-condemned PDT entry (None if empty)."""
+        for label in self.pdt:
+            entry = self.pdt.pop(label)
+            self.counters.pdt_evictions += 1
+            return entry
+        return None
+
+    # ----------------------------------------------------------- inventory
+
+    def expired_sft(self, now: float) -> list[SftEntry]:
+        """SFT entries whose verdict timer has passed."""
+        return [entry for entry in self.sft.values() if now >= entry.deadline]
+
+    def occupancy(self) -> dict[str, int]:
+        """Current table sizes."""
+        return {"sft": len(self.sft), "nft": len(self.nft), "pdt": len(self.pdt)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        occ = self.occupancy()
+        return f"FlowTables(sft={occ['sft']}, nft={occ['nft']}, pdt={occ['pdt']})"

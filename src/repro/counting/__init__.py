@@ -1,0 +1,31 @@
+"""Set-union counting pushback substrate (paper Section II).
+
+Implements the mechanism of Cai et al. [2] that identifies the Attack
+Transit Routers: per-link Durand-Flajolet LogLog sketches of distinct
+packets (:mod:`repro.counting.loglog`), the union-transform traffic matrix
+``a_ij = |Si| + |Dj| - |Si U Dj|`` (:mod:`repro.counting.setunion`), and
+victim detection plus ATR identification with pushback signalling
+(:mod:`repro.counting.pushback`).
+"""
+
+from repro.counting.loglog import LogLogCounter, LogLogLinkCounter
+from repro.counting.pushback import (
+    AtrReport,
+    PushbackCoordinator,
+    PushbackPolicyConfig,
+    PushbackRequest,
+)
+from repro.counting.setunion import TrafficMatrixEstimator
+from repro.counting.signaling import ControlPlane, SignalRecord
+
+__all__ = [
+    "AtrReport",
+    "ControlPlane",
+    "LogLogCounter",
+    "LogLogLinkCounter",
+    "PushbackCoordinator",
+    "PushbackPolicyConfig",
+    "PushbackRequest",
+    "SignalRecord",
+    "TrafficMatrixEstimator",
+]

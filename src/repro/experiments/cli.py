@@ -1,0 +1,152 @@
+"""Command-line interface: run single experiments or regenerate figures.
+
+Usage::
+
+    python -m repro run [--flows N] [--pd P] [--seed S] [--defense KIND]
+    python -m repro figure fig3a [--scale S] [--out FILE]
+    python -m repro list
+
+``run`` executes one scenario and prints the metric report card;
+``figure`` regenerates one paper figure and prints (or writes) its data
+table; ``list`` shows the available figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import DefenseKind, ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import format_figure, format_summary
+from repro.experiments.runner import run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAFIC reproduction: run experiments and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario and print metrics")
+    run_p.add_argument("--flows", type=int, default=50, help="Vt, total flows")
+    run_p.add_argument("--pd", type=float, default=0.9, help="drop probability Pd")
+    run_p.add_argument("--tcp", type=float, default=0.95, help="TCP share Gamma")
+    run_p.add_argument("--routers", type=int, default=40, help="domain size N")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--defense",
+        choices=[kind.value for kind in DefenseKind],
+        default=DefenseKind.MAFIC.value,
+    )
+    run_p.add_argument(
+        "--preset", type=str, default=None,
+        help="start from a named preset (see `python -m repro presets`); "
+        "other flags still override",
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper figure")
+    fig_p.add_argument("name", choices=sorted(ALL_FIGURES))
+    fig_p.add_argument("--scale", type=float, default=1.0,
+                       help="sweep resolution (0-1]; smaller = faster")
+    fig_p.add_argument("--out", type=str, default=None,
+                       help="write the data table to this file")
+
+    sub.add_parser("list", help="list the available figures")
+    sub.add_parser("presets", help="list the named experiment presets")
+
+    val_p = sub.add_parser(
+        "validate", help="feasibility-check a configuration without running"
+    )
+    val_p.add_argument("--flows", type=int, default=50)
+    val_p.add_argument("--pd", type=float, default=0.9)
+    val_p.add_argument("--tcp", type=float, default=0.95)
+    val_p.add_argument("--routers", type=int, default=40)
+    val_p.add_argument("--rate", type=float, default=1e6,
+                       help="attack source rate R in bits/s")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "preset", None):
+        from repro.experiments.presets import get_preset
+
+        config = get_preset(args.preset)
+        config = config.with_overrides(seed=args.seed)
+    else:
+        config = ExperimentConfig(
+            total_flows=args.flows,
+            tcp_fraction=args.tcp,
+            n_routers=args.routers,
+            seed=args.seed,
+            defense=DefenseKind(args.defense),
+        )
+    config.mafic.drop_probability = args.pd
+    result = run_experiment(config)
+    print(format_summary(result.summary))
+    if result.activation_time is not None:
+        print(f"\npushback triggered at t={result.activation_time:.2f}s; "
+              f"ATR recall {result.atr_recall:.0%}")
+    else:
+        print("\npushback never triggered")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure = ALL_FIGURES[args.name](scale=args.scale)
+    table = format_figure(figure)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(table + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(table)
+    return 0
+
+
+def _cmd_list() -> int:
+    for name in sorted(ALL_FIGURES):
+        doc = (ALL_FIGURES[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:>6}  {doc}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import validate_config
+
+    config = ExperimentConfig(
+        total_flows=args.flows,
+        tcp_fraction=args.tcp,
+        n_routers=args.routers,
+        rate_bps=args.rate,
+    )
+    config.mafic.drop_probability = args.pd
+    report = validate_config(config)
+    for finding in report:
+        print(f"[{finding.severity.value:>7}] {finding.code}: {finding.message}")
+    print("\nfeasible" if report.ok else "\nNOT feasible")
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "presets":
+        from repro.experiments.presets import PRESETS, get_preset
+
+        for name in sorted(PRESETS):
+            doc = (PRESETS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<26} {doc}")
+        return 0
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

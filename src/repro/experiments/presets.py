@@ -1,0 +1,112 @@
+"""Named experiment presets.
+
+Curated configurations for the regimes this repository discusses, so
+users (and the CLI) can reproduce them by name instead of reconstructing
+parameter sets from the docs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.experiments.config import DefenseKind, ExperimentConfig
+
+
+def paper_default() -> ExperimentConfig:
+    """Table II as published: Vt=50, Pd=90%, Γ=95%, N=40, R=1 Mbps."""
+    return ExperimentConfig()
+
+
+def heavy_attack() -> ExperimentConfig:
+    """An attack-dominated mix (the paper's implied regime for Fig 4):
+    60% zombies — β lands in the paper's 90-95% band here."""
+    return ExperimentConfig(attack_fraction=0.6)
+
+
+def low_rate_probe() -> ExperimentConfig:
+    """Fig 3(b)'s weakest point: 100 kbps zombies.  Below threshold
+    detection, so the victim's explicit notification triggers the ATRs."""
+    return ExperimentConfig(rate_bps=100e3, force_activation_at=1.25)
+
+
+def all_illegal_sources() -> ExperimentConfig:
+    """One spoofing extreme: every attack source illegal/unreachable —
+    the PDT legality shortcut does all the work."""
+    return ExperimentConfig(spoofing=SpoofingModel(mode=SpoofMode.ILLEGAL))
+
+
+def all_legal_spoofing() -> ExperimentConfig:
+    """The other extreme: every spoofed source is a valid subnet address
+    — only the probe verdicts can tell attack from legitimate."""
+    return ExperimentConfig(
+        spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET)
+    )
+
+
+def rotation_stress() -> ExperimentConfig:
+    """Per-packet source rotation: one-packet flows defeat per-flow
+    state; suppression degrades to the Bernoulli(Pd) gate.  SFT capped
+    so the stress also exercises eviction."""
+    config = ExperimentConfig(
+        spoofing=SpoofingModel(
+            mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True
+        )
+    )
+    config.mafic.max_sft_entries = 512
+    return config
+
+
+def pulsing_stress() -> ExperimentConfig:
+    """Shrew-style on-off zombies with NFT re-probing enabled as the
+    countermeasure."""
+    config = ExperimentConfig(
+        pulsing_attack=True, pulse_on=0.25, pulse_off=0.25
+    )
+    config.mafic.renotice_interval = 0.75
+    return config
+
+
+def filtered_domain() -> ExperimentConfig:
+    """The paper's counterfactual: RFC 2827 ingress filtering deployed
+    everywhere, MAFIC layered on top."""
+    return ExperimentConfig(
+        ingress_filtering=True,
+        spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET),
+    )
+
+
+def realistic_control_plane() -> ExperimentConfig:
+    """Pushback requests travel the control path instead of arriving
+    instantly."""
+    return ExperimentConfig(control_latency=True)
+
+
+def proportional_baseline() -> ExperimentConfig:
+    """The authors' earlier proportionate dropper [2] on the default
+    scenario — the collateral-damage comparison point."""
+    return ExperimentConfig(defense=DefenseKind.PROPORTIONAL)
+
+
+PRESETS: dict[str, Callable[[], ExperimentConfig]] = {
+    "paper-default": paper_default,
+    "heavy-attack": heavy_attack,
+    "low-rate-probe": low_rate_probe,
+    "all-illegal-sources": all_illegal_sources,
+    "all-legal-spoofing": all_legal_spoofing,
+    "rotation-stress": rotation_stress,
+    "pulsing-stress": pulsing_stress,
+    "filtered-domain": filtered_domain,
+    "realistic-control-plane": realistic_control_plane,
+    "proportional-baseline": proportional_baseline,
+}
+
+
+def get_preset(name: str) -> ExperimentConfig:
+    """Build the named preset's config (raises KeyError on unknown)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown preset {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,59 @@
+"""ASCII reporting of summaries and reproduced figures."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.metrics.rates import MetricsSummary
+
+
+def format_summary(summary: MetricsSummary) -> str:
+    """One run's headline rates, paper-style (percent)."""
+    pct = summary.as_percent()
+    lines = [
+        "metric                          value",
+        "------------------------------  --------",
+        f"accuracy alpha                  {pct['alpha']:7.2f}%",
+        f"traffic reduction beta          {pct['beta']:7.2f}%",
+        f"false positive theta_p          {pct['theta_p']:8.4f}%",
+        f"false negative theta_n          {pct['theta_n']:8.4f}%",
+        f"legit drop rate Lr              {pct['Lr']:7.2f}%",
+        "",
+        f"attack packets examined/dropped {summary.attack_examined}/{summary.attack_dropped}",
+        f"well-behaved examined/dropped   {summary.wellbehaved_examined}/{summary.wellbehaved_dropped}",
+        f"victim rate before/after (Mbps) "
+        f"{summary.victim_rate_before_bps / 1e6:.2f}/{summary.victim_rate_after_bps / 1e6:.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureResult, precision: int = 3) -> str:
+    """A reproduced figure as an aligned table (x column + one per series).
+
+    Matches what a gnuplot data file for the published figure would hold.
+    """
+    names = list(figure.series)
+    if not names:
+        return f"{figure.figure_id}: (no data)"
+    xs: list[float] = []
+    for name in names:
+        for x, _ in figure.series[name]:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    by_series = {
+        name: {x: y for x, y in figure.series[name]} for name in names
+    }
+    header = f"# {figure.figure_id}: {figure.title}"
+    axis = f"# x: {figure.x_label} | y: {figure.y_label}"
+    width = max(10, precision + 7)
+    head_cells = ["x".rjust(10)] + [name.rjust(width) for name in names]
+    rows = [header, axis, "  ".join(head_cells)]
+    for x in xs:
+        cells = [f"{x:10.3f}"]
+        for name in names:
+            y = by_series[name].get(x)
+            cells.append(
+                f"{y:{width}.{precision}f}" if y is not None else " " * width
+            )
+        rows.append("  ".join(cells))
+    return "\n".join(rows)

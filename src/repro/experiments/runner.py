@@ -1,0 +1,85 @@
+"""Run one scenario and collect its results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.metrics.rates import MetricsSummary, summarize
+from repro.metrics.timeseries import BandwidthSeries
+
+
+@dataclass
+class ExperimentResult:
+    """One run's outputs."""
+
+    config: ExperimentConfig
+    summary: MetricsSummary
+    series: BandwidthSeries
+    scenario: BuiltScenario
+    activation_time: float | None
+    identified_atrs: set[str] = field(default_factory=set)
+    true_atrs: set[str] = field(default_factory=set)
+    events_executed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def atr_precision(self) -> float:
+        """Fraction of identified ATRs that truly carried attack flows."""
+        if not self.identified_atrs:
+            return 0.0
+        return len(self.identified_atrs & self.true_atrs) / len(self.identified_atrs)
+
+    @property
+    def atr_recall(self) -> float:
+        """Fraction of true ATRs that were identified."""
+        if not self.true_atrs:
+            return 1.0
+        return len(self.identified_atrs & self.true_atrs) / len(self.true_atrs)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    scenario: BuiltScenario | None = None,
+    series_bin_width: float = 0.05,
+) -> ExperimentResult:
+    """Build (unless given), run to ``config.duration``, and summarize."""
+    from repro.sim.packet import reset_packet_ids
+
+    reset_packet_ids()
+    if scenario is None:
+        scenario = build_scenario(config)
+    started = time.perf_counter()
+    scenario.sim.run(until=config.duration)
+    wall = time.perf_counter() - started
+
+    reduction_window = config.mafic.probe_window(None)
+    summary = summarize(
+        scenario.defense_collector,
+        scenario.victim_collector,
+        reduction_window=reduction_window,
+    )
+    series = BandwidthSeries.from_arrivals(
+        scenario.victim_collector.arrivals,
+        start=0.0,
+        end=config.duration,
+        bin_width=series_bin_width,
+    )
+    identified = {
+        request.atr_name
+        for request in scenario.coordinator.requests
+        if request.action == "start"
+    }
+    return ExperimentResult(
+        config=config,
+        summary=summary,
+        series=series,
+        scenario=scenario,
+        activation_time=scenario.victim_collector.defense_activated_at,
+        identified_atrs=identified,
+        true_atrs=scenario.attack.atr_ground_truth,
+        events_executed=scenario.sim.events_executed,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,311 @@
+"""Scenario construction: topology + flows + counting + defence, wired.
+
+:func:`build_scenario` turns an :class:`ExperimentConfig` into a
+ready-to-run :class:`BuiltScenario`: the domain is built, legitimate TCP
+and UDP flows and zombies are placed round-robin over the ingress
+subnets, LogLog counters sit at every ingress uplink and the victim
+access link, the TrafficMonitor drives the PushbackCoordinator, and the
+coordinator's requests activate the per-ATR defence agents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.attacks.scenarios import AttackScenario, AttackScenarioConfig
+from repro.attacks.zombie import ZombieConfig
+from repro.core.config import MaficConfig
+from repro.core.filters import IngressFilter
+from repro.core.mafic import MaficAgent
+from repro.core.policy import (
+    AggregateRateLimitPolicy,
+    DropPolicy,
+    ProportionalDropPolicy,
+)
+from repro.counting.loglog import LogLogLinkCounter
+from repro.counting.pushback import PushbackCoordinator, PushbackRequest
+from repro.counting.setunion import TrafficMatrixEstimator
+from repro.counting.signaling import ControlPlane
+from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.metrics.collectors import (
+    DefenseMetricsCollector,
+    FlowTruth,
+    VictimMetricsCollector,
+)
+from repro.sim.monitor import TrafficMonitor
+from repro.sim.packet import FlowKey
+from repro.sim.topology import (
+    Topology,
+    build_star_domain,
+    build_transit_stub_domain,
+    build_tree_domain,
+)
+from repro.sim.trace import EventTrace
+from repro.transport.sink import AckingSink, CountingSink
+from repro.transport.tcp import TcpSender
+from repro.transport.udp import CbrSender
+from repro.util.rng import RngRegistry
+
+
+@dataclass
+class BuiltScenario:
+    """Everything :func:`run_experiment` needs, assembled."""
+
+    config: ExperimentConfig
+    topology: Topology
+    tcp_senders: list[TcpSender]
+    udp_senders: list[CbrSender]
+    attack: AttackScenario
+    agents: dict[str, MaficAgent]
+    estimator: TrafficMatrixEstimator
+    monitor: TrafficMonitor
+    coordinator: PushbackCoordinator
+    defense_collector: DefenseMetricsCollector
+    victim_collector: VictimMetricsCollector
+    trace: EventTrace
+    flow_truth: dict[int, FlowTruth] = field(default_factory=dict)
+    tcp_sink: AckingSink | None = None
+    udp_sink: CountingSink | None = None
+    control_plane: ControlPlane | None = None
+    ingress_filters: dict[str, IngressFilter] = field(default_factory=dict)
+
+    @property
+    def sim(self):
+        """The underlying simulator clock."""
+        return self.topology.sim
+
+
+def _build_topology(config: ExperimentConfig) -> Topology:
+    common = dict(
+        core_bandwidth_bps=config.core_bandwidth_bps,
+        access_bandwidth_bps=config.access_bandwidth_bps,
+        victim_bandwidth_bps=config.victim_bandwidth_bps,
+        link_delay=config.link_delay,
+        queue_capacity=config.queue_capacity,
+    )
+    if config.topology is TopologyKind.STAR:
+        return build_star_domain(n_ingress=max(1, config.n_routers - 1), **common)
+    if config.topology is TopologyKind.TREE:
+        # Pick fanout 3 and the depth that reaches roughly n_routers.
+        fanout = 3
+        depth = max(1, round(math.log(max(3, config.n_routers), fanout)) - 0)
+        return build_tree_domain(depth=min(3, depth), fanout=fanout, **common)
+    return build_transit_stub_domain(n_routers=config.n_routers, **common)
+
+
+def _make_policy(config: ExperimentConfig, rng) -> DropPolicy | None:
+    """Policy override for baseline defences (None = MAFIC's own)."""
+    if config.defense is DefenseKind.PROPORTIONAL:
+        return ProportionalDropPolicy(config.mafic.drop_probability, rng)
+    if config.defense is DefenseKind.RATE_LIMIT:
+        return AggregateRateLimitPolicy(config.rate_limit_bps)
+    return None
+
+
+def build_scenario(config: ExperimentConfig) -> BuiltScenario:
+    """Assemble a full scenario from one config (does not run it)."""
+    rngs = RngRegistry(config.seed)
+    topology = _build_topology(config)
+    sim = topology.sim
+    trace = EventTrace(
+        enabled=config.trace_enabled, max_records=config.trace_max_records
+    )
+    victim_collector = VictimMetricsCollector()
+
+    # ------------------------------------------------------------- sinks
+    victim_host = topology.victim_host
+    tcp_sink = AckingSink(sim, victim_host, on_packet=victim_collector.on_packet)
+    udp_sink = CountingSink(sim, on_packet=victim_collector.on_packet)
+    victim_host.bind_port(config.victim_port, tcp_sink)
+    victim_host.bind_port(config.udp_port, udp_sink)
+
+    # ---------------------------------------------------- legitimate flows
+    flow_truth: dict[int, FlowTruth] = {}
+    tcp_senders: list[TcpSender] = []
+    udp_senders: list[CbrSender] = []
+    src_hosts = [
+        topology.hosts[f"src{i}"] for i in range(len(topology.ingress_names))
+    ]
+    start_rng = rngs.stream("legit", "starts")
+    next_port: dict[str, int] = {}
+
+    for i in range(config.n_tcp):
+        host = src_hosts[i % len(src_hosts)]
+        port = next_port.get(host.name, 1024)
+        next_port[host.name] = port + 1
+        flow = FlowKey(host.address, victim_host.address, port, config.victim_port)
+        sender = TcpSender(
+            sim,
+            host,
+            flow,
+            packet_size=config.packet_size,
+            ssthresh=config.tcp_max_cwnd,
+            max_cwnd=config.tcp_max_cwnd,
+        )
+        host.bind_port(port, sender)
+        start = float(start_rng.random()) * config.legit_start_spread
+        sender.start(at=start)
+        tcp_senders.append(sender)
+        flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
+
+    for i in range(config.n_udp_legit):
+        host = src_hosts[(config.n_tcp + i) % len(src_hosts)]
+        port = next_port.get(host.name, 1024)
+        next_port[host.name] = port + 1
+        flow = FlowKey(host.address, victim_host.address, port, config.udp_port)
+        sender = CbrSender(
+            sim,
+            host,
+            flow,
+            rate_bps=config.legit_rate_bps,
+            packet_size=config.packet_size,
+            is_attack=False,
+            jitter=0.05,
+            rng=rngs.stream("legit", "udp", i),
+        )
+        host.bind_port(port, sender)
+        start = float(start_rng.random()) * config.legit_start_spread
+        sender.start(at=start)
+        udp_senders.append(sender)
+        flow_truth[flow.hashed()] = FlowTruth.UDP_LEGIT
+
+    # -------------------------------------------------------------- attack
+    attack = AttackScenario(
+        topology,
+        AttackScenarioConfig(
+            n_zombies=config.n_zombies,
+            zombie=ZombieConfig(
+                rate_bps=config.rate_bps,
+                packet_size=config.packet_size,
+                spoofing=config.spoofing,
+                pulsing=config.pulsing_attack,
+                mean_on=config.pulse_on,
+                mean_off=config.pulse_off,
+            ),
+            start_time=config.attack_start,
+        ),
+        victim_port=config.victim_port,
+        rng=rngs.stream("attack"),
+    )
+    attack.schedule()
+    for flow_hash in attack.attack_flow_hashes():
+        flow_truth[flow_hash] = FlowTruth.ATTACK
+
+    # ------------------------------------------------- ingress filtering
+    ingress_filters: dict[str, IngressFilter] = {}
+    if config.ingress_filtering:
+        for name in topology.ingress_names:
+            subnet = topology.subnet_of_router[name]
+            ingress_filter = IngressFilter([subnet])
+            topology.ingress_uplink(name).add_head_hook(ingress_filter)
+            ingress_filters[name] = ingress_filter
+
+    # ------------------------------------------------ counting substrate
+    estimator = TrafficMatrixEstimator()
+    for name in topology.ingress_names:
+        counter = LogLogLinkCounter(name, k=config.loglog_k)
+        topology.ingress_uplink(name).add_head_hook(counter)
+        estimator.register_ingress(counter)
+    victim_counter = LogLogLinkCounter(
+        topology.victim_router_name, k=config.loglog_k
+    )
+    topology.victim_access_link().add_head_hook(victim_counter)
+    estimator.register_egress(victim_counter)
+
+    # ------------------------------------------------------------ defence
+    defense_collector = DefenseMetricsCollector(flow_truth)
+    agents: dict[str, MaficAgent] = {}
+    if config.defense is not DefenseKind.NONE:
+        victim_subnet = topology.subnet_of_router[topology.victim_router_name]
+        for name in topology.ingress_names:
+            router = topology.routers[name]
+            agent_rng = rngs.stream("mafic", name)
+            agent = MaficAgent(
+                sim,
+                router,
+                victim_matcher=victim_subnet.contains,
+                config=config.mafic,
+                rng=agent_rng,
+                address_space=topology.address_space,
+                policy=_make_policy(config, agent_rng),
+                observer=defense_collector,
+                trace=trace,
+            )
+            if config.defense is not DefenseKind.MAFIC:
+                # Baselines drop blindly; the PDT legality shortcut and
+                # probing belong to MAFIC alone.
+                agent.config = MaficConfig(
+                    drop_probability=config.mafic.drop_probability,
+                    drop_illegal_sources=False,
+                )
+            # Counting first (arrival view), then the dropper.
+            topology.ingress_uplink(name).add_head_hook(agent)
+            agents[name] = agent
+
+    # ------------------------------------------------- detection control
+    def dispatch_request(request: PushbackRequest) -> None:
+        agent = agents.get(request.atr_name)
+        if agent is None:
+            return
+        now = sim.now
+        if request.action == "start":
+            agent.activate(now)
+            victim_collector.mark_defense_activation(now)
+        elif request.action == "refresh":
+            agent.refresh(now)
+        elif request.action == "stop":
+            agent.deactivate(now)
+
+    control_plane = ControlPlane(
+        sim,
+        topology.graph,
+        topology.victim_router_name,
+        dispatch_request,
+        per_hop_processing=config.control_per_hop_processing,
+        instant=not config.control_latency,
+    )
+
+    coordinator = PushbackCoordinator(
+        victim_router=topology.victim_router_name,
+        config=config.pushback,
+        on_request=control_plane.send,
+    )
+    monitor = TrafficMonitor(
+        sim,
+        estimator,
+        period=config.monitor_period,
+        on_snapshot=coordinator.on_snapshot,
+    )
+    monitor.start()
+
+    if config.force_activation_at is not None and agents:
+        # Model the victim's explicit DDoS notification: every ATR starts
+        # at a fixed time regardless of the threshold detector.
+        def _force_activation() -> None:
+            now = sim.now
+            victim_collector.mark_defense_activation(now)
+            for agent in agents.values():
+                agent.activate(now)
+
+        sim.schedule_at(config.force_activation_at, _force_activation)
+
+    return BuiltScenario(
+        config=config,
+        topology=topology,
+        tcp_senders=tcp_senders,
+        udp_senders=udp_senders,
+        attack=attack,
+        agents=agents,
+        estimator=estimator,
+        monitor=monitor,
+        coordinator=coordinator,
+        defense_collector=defense_collector,
+        victim_collector=victim_collector,
+        trace=trace,
+        flow_truth=flow_truth,
+        tcp_sink=tcp_sink,
+        udp_sink=udp_sink,
+        control_plane=control_plane,
+        ingress_filters=ingress_filters,
+    )

@@ -1,0 +1,179 @@
+"""Dynamic web-like workloads: Poisson arrivals of finite TCP transfers.
+
+The paper's evaluation uses long-lived flows; real victims (the web
+servers its introduction motivates) serve a churning population of short
+transfers — "mice".  This module spawns finite TCP transfers with
+Poisson arrivals and heavy-tailed sizes, and records each flow's
+completion time, so MAFIC's impact on user-visible latency (flow
+completion time, FCT) can be measured alongside the paper's packet-level
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.packet import FlowKey
+from repro.transport.tcp import TcpSender
+from repro.util.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenario import BuiltScenario
+    from repro.sim.topology import Topology
+
+
+@dataclass
+class DynamicWorkloadConfig:
+    """Shape of the mice population."""
+
+    arrival_rate: float = 10.0  # new transfers per second, domain-wide
+    mean_segments: int = 12  # geometric mean transfer size
+    max_segments: int = 200  # tail cap
+    start_time: float = 0.2
+    stop_time: float | None = None  # None = arrivals until the run ends
+    tcp_max_cwnd: float = 6.0
+    packet_size: int = 1000
+    base_port: int = 30000
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        if self.mean_segments < 1:
+            raise ValueError("mean_segments must be >= 1")
+        if self.max_segments < self.mean_segments:
+            raise ValueError("max_segments must be >= mean_segments")
+        check_non_negative("start_time", self.start_time)
+        if self.stop_time is not None and self.stop_time < self.start_time:
+            raise ValueError("stop_time must be >= start_time")
+
+
+@dataclass
+class TransferRecord:
+    """One mouse's lifecycle."""
+
+    flow: FlowKey
+    size_segments: int
+    started_at: float
+    completed_at: float | None = None
+
+    @property
+    def completion_time(self) -> float | None:
+        """FCT in seconds, or None while in flight / never finished."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class DynamicWorkload:
+    """Spawns mice across the domain's source hosts.
+
+    Wire into a built scenario with :meth:`install`; afterwards
+    :attr:`records` holds every transfer with its completion time.
+    Transfers register themselves in the scenario's ``flow_truth`` as
+    well-behaved TCP, so the paper metrics account for them too.
+    """
+
+    def __init__(self, config: DynamicWorkloadConfig, rng) -> None:
+        self.config = config
+        self._rng = rng
+        self.records: list[TransferRecord] = []
+        self.senders: list[TcpSender] = []
+        self._next_port = config.base_port
+        self._installed = False
+        self._scenario: "BuiltScenario | None" = None
+
+    def install(self, scenario: "BuiltScenario") -> None:
+        """Arm Poisson arrivals on the scenario's clock."""
+        if self._installed:
+            raise RuntimeError("workload already installed")
+        self._installed = True
+        self._scenario = scenario
+        gap = float(self._rng.exponential(1.0 / self.config.arrival_rate))
+        scenario.sim.schedule_at(self.config.start_time + gap, self._spawn)
+
+    # ------------------------------------------------------------ internals
+
+    def _draw_size(self) -> int:
+        """Geometric transfer sizes: many mice, a heavy-ish tail."""
+        p = 1.0 / self.config.mean_segments
+        size = 1 + int(self._rng.geometric(p)) - 1
+        return max(1, min(self.config.max_segments, size))
+
+    def _spawn(self) -> None:
+        scenario = self._scenario
+        config = self.config
+        now = scenario.sim.now
+        if config.stop_time is not None and now >= config.stop_time:
+            return
+        topology: "Topology" = scenario.topology
+        hosts = [
+            topology.hosts[f"src{i}"]
+            for i in range(len(topology.ingress_names))
+        ]
+        host = hosts[int(self._rng.integers(len(hosts)))]
+        port = self._next_port
+        self._next_port += 1
+        flow = FlowKey(
+            host.address,
+            topology.victim_host.address,
+            port,
+            scenario.config.victim_port,
+        )
+        size = self._draw_size()
+        record = TransferRecord(flow=flow, size_segments=size, started_at=now)
+        self.records.append(record)
+
+        def finished(at: float, record=record, host=host, port=port) -> None:
+            record.completed_at = at
+            host.unbind_port(port)
+
+        sender = TcpSender(
+            scenario.sim,
+            host,
+            flow,
+            packet_size=config.packet_size,
+            ssthresh=config.tcp_max_cwnd,
+            max_cwnd=config.tcp_max_cwnd,
+            total_segments=size,
+            on_complete=finished,
+        )
+        host.bind_port(port, sender)
+        sender.start()
+        self.senders.append(sender)
+
+        from repro.metrics.collectors import FlowTruth
+
+        scenario.flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
+        scenario.defense_collector.flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
+
+        gap = float(self._rng.exponential(1.0 / config.arrival_rate))
+        scenario.sim.schedule(gap, self._spawn)
+
+    # ------------------------------------------------------------- results
+
+    def completed(self) -> list[TransferRecord]:
+        """Transfers that finished."""
+        return [r for r in self.records if r.completed_at is not None]
+
+    def unfinished(self) -> list[TransferRecord]:
+        """Transfers still in flight when the run ended."""
+        return [r for r in self.records if r.completed_at is None]
+
+    def completion_times(self) -> list[float]:
+        """All FCTs, in seconds."""
+        return [r.completion_time for r in self.completed()]
+
+    def mean_fct(self) -> float:
+        """Mean FCT over completed transfers (0 when none)."""
+        times = self.completion_times()
+        return sum(times) / len(times) if times else 0.0
+
+    def fct_percentile(self, q: float) -> float:
+        """The q-th percentile FCT (q in [0, 100]; 0 when none)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        times = sorted(self.completion_times())
+        if not times:
+            return 0.0
+        index = min(len(times) - 1, int(round(q / 100.0 * (len(times) - 1))))
+        return times[index]

@@ -1,0 +1,159 @@
+"""Ground-truth metric collectors.
+
+The defence never reads ground truth; these collectors do.  A packet's
+``is_attack`` flag and a flow-hash -> :class:`FlowTruth` map (built by
+the experiment, which knows which flows it created) classify every
+decision the ATRs and the victim sink observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.sim.packet import Packet
+
+
+class FlowTruth(Enum):
+    """Ground-truth class of a flow."""
+
+    ATTACK = "attack"
+    TCP_LEGIT = "tcp_legit"  # well-behaved: legitimate AND responsive
+    UDP_LEGIT = "udp_legit"  # legitimate but unresponsive (collateral zone)
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class _ClassCounts:
+    """Per-truth-class examined/dropped/passed counters."""
+
+    examined: int = 0
+    dropped: int = 0
+    passed: int = 0
+    dropped_probe: int = 0
+    dropped_pdt: int = 0
+    dropped_illegal: int = 0
+    dropped_policy: int = 0
+
+
+class DefenseMetricsCollector:
+    """Implements the agent's DefenseObserver protocol with ground truth.
+
+    One collector can serve many ATR agents (counts aggregate across the
+    defence line, which is how the paper reports its rates).
+    """
+
+    def __init__(self, flow_truth: dict[int, FlowTruth] | None = None) -> None:
+        self.flow_truth = flow_truth if flow_truth is not None else {}
+        self.counts: dict[FlowTruth, _ClassCounts] = {
+            truth: _ClassCounts() for truth in FlowTruth
+        }
+        self.verdicts: list[tuple[float, int, str, FlowTruth]] = []
+        self.first_drop_time: float | None = None
+
+    # ------------------------------------------------- observer interface
+
+    def on_defense_drop(self, packet: Packet, reason: str, now: float) -> None:
+        """Record one dropped packet with its ground-truth class."""
+        counts = self.counts[self._classify(packet)]
+        counts.examined += 1
+        counts.dropped += 1
+        if reason == "probe":
+            counts.dropped_probe += 1
+        elif reason == "pdt":
+            counts.dropped_pdt += 1
+        elif reason == "illegal":
+            counts.dropped_illegal += 1
+        else:
+            counts.dropped_policy += 1
+        if self.first_drop_time is None:
+            self.first_drop_time = now
+
+    def on_defense_pass(self, packet: Packet, now: float) -> None:
+        """Record one passed packet."""
+        counts = self.counts[self._classify(packet)]
+        counts.examined += 1
+        counts.passed += 1
+
+    def on_verdict(self, label, verdict: str, now: float) -> None:
+        """Record a table verdict with the flow's ground truth."""
+        truth = self.flow_truth.get(int(label), FlowTruth.UNKNOWN)
+        self.verdicts.append((now, int(label), verdict, truth))
+
+    # ----------------------------------------------------------- summaries
+
+    def _classify(self, packet: Packet) -> FlowTruth:
+        if packet.is_attack:
+            return FlowTruth.ATTACK
+        return self.flow_truth.get(packet.flow_hash, FlowTruth.UNKNOWN)
+
+    def of(self, truth: FlowTruth) -> _ClassCounts:
+        """Counters of one ground-truth class."""
+        return self.counts[truth]
+
+    @property
+    def total_examined(self) -> int:
+        """Packets of every class examined by the defence line."""
+        return sum(c.examined for c in self.counts.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Packets of every class dropped by the defence line."""
+        return sum(c.dropped for c in self.counts.values())
+
+    def verdict_confusion(self) -> dict[tuple[FlowTruth, str], int]:
+        """(truth, verdict) -> count over all recorded verdicts."""
+        table: dict[tuple[FlowTruth, str], int] = {}
+        for _, _, verdict, truth in self.verdicts:
+            key = (truth, verdict)
+            table[key] = table.get(key, 0) + 1
+        return table
+
+
+class VictimMetricsCollector:
+    """Arrival accounting at the victim host.
+
+    Wire its :meth:`on_packet` into the victim sinks.  Keeps raw arrival
+    events (time, size, is_attack) so β windows and the Fig. 4b series can
+    be computed after the run with any bucketing.
+    """
+
+    def __init__(self) -> None:
+        self.arrivals: list[tuple[float, int, bool]] = []
+        self.attack_packets = 0
+        self.legit_packets = 0
+        self.defense_activated_at: float | None = None
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        """Record one arrival at the victim."""
+        self.arrivals.append((now, packet.size, packet.is_attack))
+        if packet.is_attack:
+            self.attack_packets += 1
+        else:
+            self.legit_packets += 1
+
+    def mark_defense_activation(self, now: float) -> None:
+        """Stamp the first pushback-start instant (for β and θn windows)."""
+        if self.defense_activated_at is None:
+            self.defense_activated_at = now
+
+    def arrivals_in(self, start: float, end: float) -> tuple[int, int]:
+        """(attack, legit) packet counts with ``start <= t < end``."""
+        attack = legit = 0
+        for t, _, is_attack in self.arrivals:
+            if start <= t < end:
+                if is_attack:
+                    attack += 1
+                else:
+                    legit += 1
+        return attack, legit
+
+    def bytes_in(self, start: float, end: float) -> int:
+        """Total bytes arriving with ``start <= t < end``."""
+        return sum(size for t, size, _ in self.arrivals if start <= t < end)
+
+    def rate_bps_in(self, start: float, end: float) -> float:
+        """Mean arrival rate in bits/s over [start, end)."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        return self.bytes_in(start, end) * 8.0 / (end - start)

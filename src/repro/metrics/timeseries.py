@@ -1,0 +1,75 @@
+"""Time-series construction for the Fig. 4(b) bandwidth plots."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class BandwidthSeries:
+    """Victim-arrival bandwidth bucketed into fixed bins.
+
+    ``times`` are bin centres; rates are kbps, split by ground truth.
+    """
+
+    times: list[float]
+    total_kbps: list[float]
+    attack_kbps: list[float]
+    legit_kbps: list[float]
+
+    @classmethod
+    def from_arrivals(
+        cls,
+        arrivals: list[tuple[float, int, bool]],
+        start: float,
+        end: float,
+        bin_width: float = 0.05,
+    ) -> "BandwidthSeries":
+        """Bucket raw (time, size, is_attack) arrival events.
+
+        Events outside [start, end) are ignored.
+        """
+        if end <= start:
+            raise ValueError("end must exceed start")
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        n_bins = max(1, int(math.ceil((end - start) / bin_width)))
+        total = [0.0] * n_bins
+        attack = [0.0] * n_bins
+        legit = [0.0] * n_bins
+        for t, size, is_attack in arrivals:
+            if not start <= t < end:
+                continue
+            idx = min(n_bins - 1, int((t - start) / bin_width))
+            kbits = size * 8.0 / 1e3
+            total[idx] += kbits
+            if is_attack:
+                attack[idx] += kbits
+            else:
+                legit[idx] += kbits
+        # kbits per bin -> kbps.
+        scale = 1.0 / bin_width
+        times = [start + (i + 0.5) * bin_width for i in range(n_bins)]
+        return cls(
+            times=times,
+            total_kbps=[v * scale for v in total],
+            attack_kbps=[v * scale for v in attack],
+            legit_kbps=[v * scale for v in legit],
+        )
+
+    def peak_total_kbps(self) -> float:
+        """Largest total-rate bin."""
+        return max(self.total_kbps) if self.total_kbps else 0.0
+
+    def mean_total_kbps(self, t0: float, t1: float) -> float:
+        """Mean of total-rate bins whose centres fall in [t0, t1)."""
+        values = [
+            rate
+            for time, rate in zip(self.times, self.total_kbps)
+            if t0 <= time < t1
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def __len__(self) -> int:
+        return len(self.times)

@@ -1,0 +1,143 @@
+"""Event-heap discrete-event scheduler.
+
+A classic callback-style engine: events are ``(time, priority, seq)``-ordered
+entries in a binary heap; running an event calls its function.  There are no
+coroutines — handlers schedule follow-up events explicitly — which keeps the
+hot path small and the execution order fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is by ``(time, priority, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker so same-time events fire in scheduling order.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it is skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The discrete-event clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, my_handler, arg1, arg2)
+        sim.run(until=10.0)
+
+    Handlers receive their args verbatim; they query ``sim.now`` for the
+    current time and call :meth:`schedule` / :meth:`schedule_at` to continue
+    the computation.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        ev = Event(time=float(time), priority=priority, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def peek_time(self) -> float:
+        """Time of the next pending event, or ``inf`` when the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def pending(self) -> int:
+        """Number of non-cancelled events currently queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events until the queue drains, ``until`` passes, or
+        ``max_events`` have run.  Returns the simulation time reached.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drained earlier, so periodic measurements line up.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed_this_run = 0
+        try:
+            while self._heap and not self._stopped:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                ev.fn(*ev.args)
+                self.events_executed += 1
+                executed_this_run += 1
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = float(until)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

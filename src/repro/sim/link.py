@@ -1,0 +1,149 @@
+"""Simplex links with bandwidth, propagation delay, and head hooks.
+
+The *head hook* is the architectural seam the paper describes: NS-2
+subclasses ``Connector`` ("a subclass of Connector named LogLogCounter is
+added to the head of each SimplexLink") and MAFIC's dropper sits at the
+same place.  A hook sees every packet about to enter the link's queue and
+may consume (drop) it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, PacketQueue
+from repro.util.units import transmission_delay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+
+class LinkHook(Protocol):
+    """Objects attachable at a link head.
+
+    ``on_packet`` returns True to let the packet continue into the queue,
+    False to consume it (the hook has dropped or diverted the packet).
+    """
+
+    def on_packet(self, packet: Packet, link: "SimplexLink", now: float) -> bool: ...
+
+
+class SimplexLink:
+    """A unidirectional link ``src -> dst``.
+
+    Models serialization at ``bandwidth_bps`` plus fixed propagation
+    ``delay``; packets wait in ``queue`` while the link is busy.  Hooks run
+    in attachment order before enqueue; counters track utilization for the
+    metrics layer.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float = 10e6,
+        delay: float = 0.005,
+        queue: PacketQueue | None = None,
+        name: str | None = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay = float(delay)
+        self.queue: PacketQueue = queue if queue is not None else DropTailQueue()
+        self.name = name if name is not None else f"{src.name}->{dst.name}"
+        self._head_hooks: list[LinkHook] = []
+        self._busy = False
+        self._up = True
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_offered = 0
+        self.hook_drops = 0
+        self.failure_drops = 0
+
+    def add_head_hook(self, hook: LinkHook) -> None:
+        """Attach a hook at the link head (NS-2 Connector seam)."""
+        self._head_hooks.append(hook)
+
+    def remove_head_hook(self, hook: LinkHook) -> None:
+        """Detach a previously attached hook."""
+        self._head_hooks.remove(hook)
+
+    @property
+    def head_hooks(self) -> tuple[LinkHook, ...]:
+        """Hooks currently attached, in execution order."""
+        return tuple(self._head_hooks)
+
+    @property
+    def is_up(self) -> bool:
+        """Whether the link currently accepts traffic."""
+        return self._up
+
+    def set_down(self) -> None:
+        """Fail the link: new offers drop; packets in flight still arrive
+        (they are already on the wire)."""
+        self._up = False
+
+    def set_up(self) -> None:
+        """Restore a failed link."""
+        self._up = True
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.
+
+        Runs head hooks, then enqueues; returns False when the link is
+        down, a hook consumed the packet, or the queue dropped it.
+        """
+        self.packets_offered += 1
+        if not self._up:
+            self.failure_drops += 1
+            return False
+        now = self.sim.now
+        for hook in self._head_hooks:
+            if not hook.on_packet(packet, self, now):
+                self.hook_drops += 1
+                return False
+        if not self.queue.enqueue(packet, now):
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx = transmission_delay(packet.size, self.bandwidth_bps)
+        self.sim.schedule(tx, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.sim.schedule(self.delay, self._deliver, packet)
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hop_count += 1
+        self.dst.receive(packet, self)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of capacity used over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_sent * 8.0) / (self.bandwidth_bps * elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SimplexLink({self.name}, {self.bandwidth_bps / 1e6:.1f}Mbps, "
+            f"{self.delay * 1e3:.1f}ms, qlen={len(self.queue)})"
+        )

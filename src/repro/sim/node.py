@@ -1,0 +1,172 @@
+"""Hosts and routers.
+
+A :class:`Node` owns its outgoing links and forwards packets via a routing
+table (routers) or delivers them to attached agents (hosts).  Agents — TCP
+senders, sinks, attack sources, MAFIC itself on the control plane —
+register per-port handlers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.link import SimplexLink
+    from repro.sim.routing import RoutingTable
+
+
+class PacketHandler(Protocol):
+    """Anything that can accept a delivered packet."""
+
+    def handle_packet(self, packet: Packet, now: float) -> None: ...
+
+
+class Node:
+    """Base network element: named, addressable, link-connected."""
+
+    def __init__(self, sim: "Simulator", name: str, address: int | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.address = address  # routers may be address-less
+        self._links_out: dict[str, "SimplexLink"] = {}  # keyed by dst node name
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+        self.packets_delivered = 0
+
+    def attach_link(self, link: "SimplexLink") -> None:
+        """Register an outgoing link (called by topology builders)."""
+        if link.src is not self:
+            raise ValueError(f"link {link.name} does not originate at {self.name}")
+        self._links_out[link.dst.name] = link
+
+    def link_to(self, dst_name: str) -> "SimplexLink | None":
+        """Outgoing link towards the named neighbour, if any."""
+        return self._links_out.get(dst_name)
+
+    @property
+    def links_out(self) -> tuple["SimplexLink", ...]:
+        """All outgoing links."""
+        return tuple(self._links_out.values())
+
+    def receive(self, packet: Packet, via: "SimplexLink | None" = None) -> None:
+        """Entry point for packets arriving at this node."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name})"
+
+
+class Router(Node):
+    """A store-and-forward router with a static routing table.
+
+    ``local_delivery`` handlers receive packets addressed to hosts this
+    router fronts for (the last-hop case).  The router is also where
+    control-plane agents (pushback coordinator) can be attached.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, address: int | None = None) -> None:
+        super().__init__(sim, name, address)
+        self.routing_table: "RoutingTable | None" = None
+        self._local_subnet_handlers: list[tuple[Callable[[int], bool], PacketHandler]] = []
+        self._control_handlers: list[PacketHandler] = []
+
+    def add_local_delivery(
+        self, matches: Callable[[int], bool], handler: PacketHandler
+    ) -> None:
+        """Deliver packets whose dst matches the predicate to ``handler``."""
+        self._local_subnet_handlers.append((matches, handler))
+
+    def add_control_handler(self, handler: PacketHandler) -> None:
+        """Receive CONTROL packets addressed to this router."""
+        self._control_handlers.append(handler)
+
+    def receive(self, packet: Packet, via: "SimplexLink | None" = None) -> None:
+        """Forward per routing table, or deliver locally."""
+        self.packets_received += 1
+        now = self.sim.now
+        from repro.sim.packet import PacketType
+
+        if packet.ptype is PacketType.CONTROL and packet.dst_ip == (self.address or -1):
+            for handler in self._control_handlers:
+                handler.handle_packet(packet, now)
+            self.packets_delivered += 1
+            return
+        for matches, handler in self._local_subnet_handlers:
+            if matches(packet.dst_ip):
+                handler.handle_packet(packet, now)
+                self.packets_delivered += 1
+                return
+        self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        if self.routing_table is None:
+            self.packets_dropped_no_route += 1
+            return
+        next_hop = self.routing_table.next_hop(packet.dst_ip)
+        if next_hop is None:
+            self.packets_dropped_no_route += 1
+            return
+        link = self._links_out.get(next_hop)
+        if link is None:
+            self.packets_dropped_no_route += 1
+            return
+        self.packets_forwarded += 1
+        link.send(packet)
+
+
+class Host(Node):
+    """An end host: sources and sinks attach here by port.
+
+    Packets addressed to this host are dispatched on ``dst_port``; a
+    default handler catches everything unbound (and the forged dup-ACK
+    probes MAFIC sends to spoofed addresses land here silently).
+    """
+
+    def __init__(self, sim: "Simulator", name: str, address: int) -> None:
+        super().__init__(sim, name, address)
+        self._port_handlers: dict[int, PacketHandler] = {}
+        self._default_handler: PacketHandler | None = None
+        self.gateway: Router | None = None
+        self.unhandled_packets = 0
+
+    def bind_port(self, port: int, handler: PacketHandler) -> None:
+        """Attach a transport agent to a local port."""
+        if port in self._port_handlers:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._port_handlers[port] = handler
+
+    def unbind_port(self, port: int) -> None:
+        """Detach whatever is bound at ``port``."""
+        self._port_handlers.pop(port, None)
+
+    def set_default_handler(self, handler: PacketHandler) -> None:
+        """Handler for packets to unbound ports."""
+        self._default_handler = handler
+
+    def receive(self, packet: Packet, via: "SimplexLink | None" = None) -> None:
+        """Dispatch to the agent bound at the packet's destination port."""
+        self.packets_received += 1
+        now = self.sim.now
+        handler = self._port_handlers.get(packet.flow.dst_port)
+        if handler is not None:
+            handler.handle_packet(packet, now)
+            self.packets_delivered += 1
+            return
+        if self._default_handler is not None:
+            self._default_handler.handle_packet(packet, now)
+            self.packets_delivered += 1
+            return
+        self.unhandled_packets += 1
+
+    def send(self, packet: Packet) -> bool:
+        """Hand a locally generated packet to the gateway link."""
+        if self.gateway is None:
+            raise RuntimeError(f"host {self.name} has no gateway")
+        link = self.link_to(self.gateway.name)
+        if link is None:
+            raise RuntimeError(f"host {self.name} has no link to its gateway")
+        return link.send(packet)

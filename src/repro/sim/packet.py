@@ -1,0 +1,129 @@
+"""Packets, flow keys, and packet types.
+
+A packet carries the fields MAFIC and the counting substrate actually look
+at: the 4-tuple label, a globally unique packet id (the item counted by the
+LogLog sketches), a TCP-style timestamp echo (the paper's RTT source), and
+bookkeeping flags (``is_attack`` ground truth for metrics — never read by
+the defence itself).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.util.hashing import stable_hash64
+
+_packet_ids = itertools.count(1)
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet-id counter (test isolation helper)."""
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
+class PacketType(Enum):
+    """Wire-level packet kinds the simulator distinguishes."""
+
+    DATA = "data"
+    ACK = "ack"
+    DUP_ACK = "dup_ack"  # MAFIC probe: forged duplicate ACK toward the source
+    CONTROL = "control"  # pushback signalling between routers
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """The 4-tuple flow label of Section III.B.
+
+    MAFIC keys its tables on a hash of this label rather than the label
+    itself, to bound table storage; :meth:`hashed` is that value.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {port}")
+
+    def hashed(self) -> int:
+        """Stable 64-bit hash of the label — what the SFT/NFT/PDT store."""
+        return stable_hash64(self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+
+    def reversed(self) -> "FlowKey":
+        """The key of the opposite direction (ACK stream)."""
+        return FlowKey(self.dst_ip, self.src_ip, self.dst_port, self.src_port)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_ip & 0xFFFFFFFF:#010x}:{self.src_port}->"
+            f"{self.dst_ip & 0xFFFFFFFF:#010x}:{self.dst_port}"
+        )
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    ``uid`` is unique per packet and is the element inserted into the
+    LogLog sketches.  ``seq``/``ack`` are transport sequence numbers in
+    *bytes* (TCP-style).  ``ts_val``/``ts_ecr`` model the TCP timestamp
+    option MAFIC reads to estimate RTT at the ATR.
+    """
+
+    flow: FlowKey
+    ptype: PacketType = PacketType.DATA
+    size: int = 1000  # bytes, including headers
+    seq: int = 0
+    ack: int = 0
+    ts_val: float = 0.0
+    ts_ecr: float = 0.0
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    is_attack: bool = False  # ground truth for metrics only
+    hop_count: int = 0
+    ingress_router: str | None = None  # set by the ingress; used by monitors
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def src_ip(self) -> int:
+        """Claimed (possibly spoofed) source address."""
+        return self.flow.src_ip
+
+    @property
+    def dst_ip(self) -> int:
+        """Destination address."""
+        return self.flow.dst_ip
+
+    @property
+    def flow_hash(self) -> int:
+        """Hashed flow label — the table key."""
+        return self.flow.hashed()
+
+    def make_ack(self, ack_seq: int, now: float, size: int = 40) -> "Packet":
+        """Build the ACK a receiver returns for this packet."""
+        return Packet(
+            flow=self.flow.reversed(),
+            ptype=PacketType.ACK,
+            size=size,
+            seq=0,
+            ack=ack_seq,
+            ts_val=now,
+            ts_ecr=self.ts_val,
+            created_at=now,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Packet(uid={self.uid}, {self.ptype.value}, flow={self.flow}, "
+            f"seq={self.seq}, ack={self.ack}, size={self.size})"
+        )

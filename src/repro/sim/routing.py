@@ -1,0 +1,89 @@
+"""Static shortest-path routing.
+
+Routes are computed once from the topology graph (Dijkstra over link
+delays) and installed as longest-prefix-match tables keyed by subnet.
+The core network of the paper is a fixed intra-AS domain, so static
+routing is faithful: there is no route churn during an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import networkx as nx
+
+from repro.sim.address import Subnet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node, Router
+
+
+class RoutingTable:
+    """Longest-prefix-match next-hop table for one router."""
+
+    def __init__(self) -> None:
+        # Sorted by descending prefix length for LPM.
+        self._entries: list[tuple[Subnet, str]] = []
+        self._default: str | None = None
+
+    def add_route(self, subnet: Subnet, next_hop_name: str) -> None:
+        """Install a route to ``subnet`` via the named neighbour."""
+        self._entries.append((subnet, next_hop_name))
+        self._entries.sort(key=lambda entry: -entry[0].prefix_len)
+
+    def set_default(self, next_hop_name: str) -> None:
+        """Install a default route."""
+        self._default = next_hop_name
+
+    def next_hop(self, dst_ip: int) -> str | None:
+        """Longest-prefix-match lookup; falls back to the default route."""
+        for subnet, hop in self._entries:
+            if subnet.contains(dst_ip):
+                return hop
+        return self._default
+
+    def routes(self) -> tuple[tuple[Subnet, str], ...]:
+        """All installed routes (LPM order)."""
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_static_routes(
+    graph: nx.Graph,
+    routers: dict[str, "Router"],
+    subnet_attachments: Iterable[tuple[str, Subnet]],
+) -> None:
+    """Compute and install shortest-path routes on every router.
+
+    ``graph`` holds router names as nodes with ``delay`` edge weights;
+    ``subnet_attachments`` yields ``(router_name, subnet)`` pairs naming
+    the router each allocated subnet hangs off (a ``dict.items()`` view
+    of a router-name -> subnet map works directly).  For every
+    (router, subnet) pair we find the shortest path and install the
+    first hop.
+    """
+    attachments = list(subnet_attachments)
+    all_paths: dict[str, dict[str, list[str]]] = {}
+    for name in routers:
+        # Single-source shortest paths once per router.
+        all_paths[name] = nx.single_source_dijkstra_path(graph, name, weight="delay")
+    for attach_name, subnet in attachments:
+        if attach_name not in routers:
+            raise ValueError(f"subnet {subnet} attached to unknown router {attach_name}")
+        for name, router in routers.items():
+            if name == attach_name:
+                continue  # local delivery handles it
+            path = all_paths[name].get(attach_name)
+            if path is None or len(path) < 2:
+                continue
+            router_table = router.routing_table
+            if router_table is None:
+                router_table = RoutingTable()
+                router.routing_table = router_table
+            router_table.add_route(subnet, path[1])
+    # Routers with no table at all (isolated) get an empty one.
+    for router in routers.values():
+        if router.routing_table is None:
+            router.routing_table = RoutingTable()

@@ -1,0 +1,416 @@
+"""Topology generators: the simulated domain under protection.
+
+The paper's Figure 1 shows a protected domain: several *ingress routers*
+at the edge (some of which become ATRs), a routed core, and a *last-hop
+router* fronting the victim.  We provide three generators over that
+pattern plus a dumbbell for transport unit tests:
+
+* :func:`build_star_domain` — ingresses connect directly to the last hop.
+* :func:`build_tree_domain` — a balanced routing tree, victim at the root.
+* :func:`build_transit_stub_domain` — a small transit core ring with stub
+  ingress routers, the shape used for the domain-size sweeps (Figs 5c/6c).
+* :func:`build_dumbbell` — 2 hosts, 2 routers, 1 bottleneck.
+
+Every generator returns a :class:`Topology` carrying the simulator, the
+graph, routers/hosts, the address plan, and the victim designation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.sim.address import AddressSpace, Subnet
+from repro.sim.engine import Simulator
+from repro.sim.link import SimplexLink
+from repro.sim.node import Host, Router
+from repro.sim.queues import DropTailQueue
+from repro.sim.routing import RoutingTable, build_static_routes
+
+
+@dataclass
+class Topology:
+    """A built domain: everything an experiment needs to wire flows."""
+
+    sim: Simulator
+    graph: nx.Graph
+    routers: dict[str, Router]
+    hosts: dict[str, Host]
+    address_space: AddressSpace
+    subnet_of_router: dict[str, Subnet]
+    ingress_names: list[str]
+    victim_router_name: str
+    victim_host_name: str
+    links: list[SimplexLink] = field(default_factory=list)
+
+    @property
+    def victim_router(self) -> Router:
+        """The last-hop router in front of the victim."""
+        return self.routers[self.victim_router_name]
+
+    @property
+    def victim_host(self) -> Host:
+        """The victim end host."""
+        return self.hosts[self.victim_host_name]
+
+    @property
+    def ingress_routers(self) -> list[Router]:
+        """Edge routers where traffic enters the domain."""
+        return [self.routers[name] for name in self.ingress_names]
+
+    def victim_access_link(self) -> SimplexLink:
+        """The link from the last-hop router down to the victim host."""
+        link = self.victim_router.link_to(self.victim_host_name)
+        if link is None:
+            raise RuntimeError("victim access link missing")
+        return link
+
+    def ingress_uplink(self, ingress_name: str) -> SimplexLink:
+        """The ingress router's link toward the core (where hooks attach).
+
+        For a star domain this is the direct link to the last-hop router;
+        in general it is the first hop of the ingress's route to the
+        victim subnet.
+        """
+        router = self.routers[ingress_name]
+        table = router.routing_table
+        if table is None:
+            raise RuntimeError(f"{ingress_name} has no routing table")
+        victim_subnet = self.subnet_of_router[self.victim_router_name]
+        hop = table.next_hop(victim_subnet.base)
+        if hop is None:
+            raise RuntimeError(f"{ingress_name} has no route to the victim")
+        link = router.link_to(hop)
+        if link is None:
+            raise RuntimeError(f"{ingress_name} missing link to {hop}")
+        return link
+
+
+def _link_pair(
+    sim: Simulator,
+    a,
+    b,
+    bandwidth_bps: float,
+    delay: float,
+    queue_capacity: int,
+    links: list[SimplexLink],
+) -> None:
+    """Create a duplex connection as two simplex links."""
+    fwd = SimplexLink(sim, a, b, bandwidth_bps, delay, DropTailQueue(queue_capacity))
+    rev = SimplexLink(sim, b, a, bandwidth_bps, delay, DropTailQueue(queue_capacity))
+    a.attach_link(fwd)
+    b.attach_link(rev)
+    links.extend((fwd, rev))
+
+
+def _attach_edge_host(
+    sim: Simulator,
+    router: Router,
+    space: AddressSpace,
+    host_name: str,
+    bandwidth_bps: float,
+    delay: float,
+    queue_capacity: int,
+    links: list[SimplexLink],
+    subnet: Subnet | None = None,
+    host_index: int = 1,
+) -> tuple[Host, Subnet]:
+    """Allocate a subnet at ``router`` and hang one host off it."""
+    if subnet is None:
+        subnet = space.allocate_subnet(24)
+    host = Host(sim, host_name, subnet.host(host_index).value)
+    host.gateway = router
+    _link_pair(sim, host, router, bandwidth_bps, delay, queue_capacity, links)
+    router.add_local_delivery(subnet.contains, _HostDelivery(host, router))
+    return host, subnet
+
+
+class _HostDelivery:
+    """Router-side local delivery: push the packet down the access link."""
+
+    def __init__(self, host: Host, router: Router) -> None:
+        self._host = host
+        self._router = router
+
+    def handle_packet(self, packet, now) -> None:
+        link = self._router.link_to(self._host.name)
+        if link is not None:
+            link.send(packet)
+
+
+def build_star_domain(
+    n_ingress: int = 8,
+    core_bandwidth_bps: float = 100e6,
+    access_bandwidth_bps: float = 100e6,
+    victim_bandwidth_bps: float = 10e6,
+    link_delay: float = 0.005,
+    queue_capacity: int = 256,
+    sim: Simulator | None = None,
+) -> Topology:
+    """Ingress routers star-connected to the victim's last-hop router.
+
+    Each ingress router fronts one /24 of source hosts; the victim router
+    fronts the victim's /24.  The victim access link is the bottleneck.
+    """
+    if n_ingress < 1:
+        raise ValueError("need at least one ingress router")
+    sim = sim if sim is not None else Simulator()
+    space = AddressSpace()
+    graph = nx.Graph()
+    links: list[SimplexLink] = []
+    routers: dict[str, Router] = {}
+    hosts: dict[str, Host] = {}
+    subnet_of_router: dict[str, Subnet] = {}
+
+    victim_router = Router(sim, "lasthop")
+    routers["lasthop"] = victim_router
+    graph.add_node("lasthop")
+
+    ingress_names: list[str] = []
+    for i in range(n_ingress):
+        name = f"ingress{i}"
+        router = Router(sim, name)
+        routers[name] = router
+        graph.add_node(name)
+        graph.add_edge(name, "lasthop", delay=link_delay)
+        _link_pair(sim, router, victim_router, core_bandwidth_bps, link_delay,
+                   queue_capacity, links)
+        ingress_names.append(name)
+        subnet = space.allocate_subnet(24)
+        subnet_of_router[name] = subnet
+
+    victim_subnet = space.allocate_subnet(24)
+    subnet_of_router["lasthop"] = victim_subnet
+    victim_host, _ = _attach_edge_host(
+        sim, victim_router, space, "victim", victim_bandwidth_bps, 0.001,
+        queue_capacity, links, subnet=victim_subnet,
+    )
+    hosts["victim"] = victim_host
+
+    # One source host per ingress subnet; traffic generators send from it
+    # (with spoofed source IPs drawn from the whole subnet when attacking).
+    for i, name in enumerate(ingress_names):
+        host, _ = _attach_edge_host(
+            sim, routers[name], space, f"src{i}", access_bandwidth_bps, 0.001,
+            queue_capacity, links, subnet=subnet_of_router[name],
+        )
+        hosts[f"src{i}"] = host
+
+    build_static_routes(graph, routers, subnet_of_router.items())
+    return Topology(
+        sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
+        subnet_of_router=subnet_of_router, ingress_names=ingress_names,
+        victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )
+
+
+def build_tree_domain(
+    depth: int = 2,
+    fanout: int = 3,
+    core_bandwidth_bps: float = 100e6,
+    access_bandwidth_bps: float = 100e6,
+    victim_bandwidth_bps: float = 10e6,
+    link_delay: float = 0.005,
+    queue_capacity: int = 256,
+    sim: Simulator | None = None,
+) -> Topology:
+    """A balanced router tree; leaves are ingresses, the root is last-hop."""
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be >= 1")
+    sim = sim if sim is not None else Simulator()
+    space = AddressSpace()
+    graph = nx.Graph()
+    links: list[SimplexLink] = []
+    routers: dict[str, Router] = {}
+    hosts: dict[str, Host] = {}
+    subnet_of_router: dict[str, Subnet] = {}
+
+    root = Router(sim, "lasthop")
+    routers["lasthop"] = root
+    graph.add_node("lasthop")
+
+    level = ["lasthop"]
+    counter = 0
+    leaves: list[str] = []
+    for d in range(depth):
+        next_level: list[str] = []
+        for parent in level:
+            for _ in range(fanout):
+                name = f"r{counter}"
+                counter += 1
+                router = Router(sim, name)
+                routers[name] = router
+                graph.add_node(name)
+                graph.add_edge(parent, name, delay=link_delay)
+                _link_pair(sim, routers[parent], router, core_bandwidth_bps,
+                           link_delay, queue_capacity, links)
+                next_level.append(name)
+        level = next_level
+    leaves = level
+
+    victim_subnet = space.allocate_subnet(24)
+    subnet_of_router["lasthop"] = victim_subnet
+    victim_host, _ = _attach_edge_host(
+        sim, root, space, "victim", victim_bandwidth_bps, 0.001,
+        queue_capacity, links, subnet=victim_subnet,
+    )
+    hosts["victim"] = victim_host
+
+    for i, name in enumerate(leaves):
+        subnet = space.allocate_subnet(24)
+        subnet_of_router[name] = subnet
+        host, _ = _attach_edge_host(
+            sim, routers[name], space, f"src{i}", access_bandwidth_bps, 0.001,
+            queue_capacity, links, subnet=subnet,
+        )
+        hosts[f"src{i}"] = host
+
+    build_static_routes(graph, routers, subnet_of_router.items())
+    return Topology(
+        sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
+        subnet_of_router=subnet_of_router, ingress_names=list(leaves),
+        victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )
+
+
+def build_transit_stub_domain(
+    n_routers: int = 40,
+    transit_fraction: float = 0.2,
+    core_bandwidth_bps: float = 155e6,
+    access_bandwidth_bps: float = 100e6,
+    victim_bandwidth_bps: float = 10e6,
+    link_delay: float = 0.005,
+    queue_capacity: int = 256,
+    sim: Simulator | None = None,
+) -> Topology:
+    """Transit-stub domain: a transit ring core, stub ingresses hanging off.
+
+    ``n_routers`` is the paper's domain-size parameter N (Table II default
+    40).  Roughly ``transit_fraction`` of routers form the core ring; the
+    rest are stub ingress routers round-robined across core routers.  The
+    victim's last-hop router is one of the core routers.
+    """
+    if n_routers < 3:
+        raise ValueError("need at least 3 routers")
+    if not 0.0 < transit_fraction < 1.0:
+        raise ValueError("transit_fraction must be in (0, 1)")
+    sim = sim if sim is not None else Simulator()
+    space = AddressSpace()
+    graph = nx.Graph()
+    links: list[SimplexLink] = []
+    routers: dict[str, Router] = {}
+    hosts: dict[str, Host] = {}
+    subnet_of_router: dict[str, Subnet] = {}
+
+    n_core = max(2, int(round(n_routers * transit_fraction)))
+    n_stub = n_routers - n_core - 1  # one core slot is the last-hop router
+    if n_stub < 1:
+        n_core = max(2, n_routers - 2)
+        n_stub = n_routers - n_core - 1
+        if n_stub < 1:
+            raise ValueError(f"n_routers={n_routers} too small for transit-stub")
+
+    core_names = [f"core{i}" for i in range(n_core)]
+    for name in core_names:
+        routers[name] = Router(sim, name)
+        graph.add_node(name)
+    # Ring plus a chord for redundancy.
+    for i, name in enumerate(core_names):
+        nxt = core_names[(i + 1) % n_core]
+        if not graph.has_edge(name, nxt):
+            graph.add_edge(name, nxt, delay=link_delay)
+            _link_pair(sim, routers[name], routers[nxt], core_bandwidth_bps,
+                       link_delay, queue_capacity, links)
+    if n_core >= 4:
+        a, b = core_names[0], core_names[n_core // 2]
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b, delay=link_delay)
+            _link_pair(sim, routers[a], routers[b], core_bandwidth_bps,
+                       link_delay, queue_capacity, links)
+
+    # Last-hop router hangs off core0.
+    victim_router = Router(sim, "lasthop")
+    routers["lasthop"] = victim_router
+    graph.add_node("lasthop")
+    graph.add_edge("lasthop", core_names[0], delay=link_delay)
+    _link_pair(sim, victim_router, routers[core_names[0]], core_bandwidth_bps,
+               link_delay, queue_capacity, links)
+
+    victim_subnet = space.allocate_subnet(24)
+    subnet_of_router["lasthop"] = victim_subnet
+    victim_host, _ = _attach_edge_host(
+        sim, victim_router, space, "victim", victim_bandwidth_bps, 0.001,
+        queue_capacity, links, subnet=victim_subnet,
+    )
+    hosts["victim"] = victim_host
+
+    ingress_names: list[str] = []
+    for i in range(n_stub):
+        name = f"ingress{i}"
+        router = Router(sim, name)
+        routers[name] = router
+        graph.add_node(name)
+        anchor = core_names[i % n_core]
+        graph.add_edge(name, anchor, delay=link_delay)
+        _link_pair(sim, router, routers[anchor], access_bandwidth_bps,
+                   link_delay, queue_capacity, links)
+        ingress_names.append(name)
+        subnet = space.allocate_subnet(24)
+        subnet_of_router[name] = subnet
+        host, _ = _attach_edge_host(
+            sim, router, space, f"src{i}", access_bandwidth_bps, 0.001,
+            queue_capacity, links, subnet=subnet,
+        )
+        hosts[f"src{i}"] = host
+
+    build_static_routes(graph, routers, subnet_of_router.items())
+    return Topology(
+        sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
+        subnet_of_router=subnet_of_router, ingress_names=ingress_names,
+        victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )
+
+
+def build_dumbbell(
+    bottleneck_bps: float = 1.5e6,
+    access_bps: float = 10e6,
+    delay: float = 0.010,
+    queue_capacity: int = 32,
+    sim: Simulator | None = None,
+) -> Topology:
+    """Two hosts, two routers, one bottleneck — the transport test rig."""
+    sim = sim if sim is not None else Simulator()
+    space = AddressSpace()
+    graph = nx.Graph()
+    links: list[SimplexLink] = []
+    routers: dict[str, Router] = {}
+    hosts: dict[str, Host] = {}
+    subnet_of_router: dict[str, Subnet] = {}
+
+    left = Router(sim, "left")
+    right = Router(sim, "lasthop")
+    routers["left"], routers["lasthop"] = left, right
+    graph.add_node("left")
+    graph.add_node("lasthop")
+    graph.add_edge("left", "lasthop", delay=delay)
+    _link_pair(sim, left, right, bottleneck_bps, delay, queue_capacity, links)
+
+    left_subnet = space.allocate_subnet(24)
+    subnet_of_router["left"] = left_subnet
+    src, _ = _attach_edge_host(sim, left, space, "src0", access_bps, 0.001,
+                               queue_capacity, links, subnet=left_subnet)
+    hosts["src0"] = src
+
+    right_subnet = space.allocate_subnet(24)
+    subnet_of_router["lasthop"] = right_subnet
+    dst, _ = _attach_edge_host(sim, right, space, "victim", access_bps, 0.001,
+                               queue_capacity, links, subnet=right_subnet)
+    hosts["victim"] = dst
+
+    build_static_routes(graph, routers, subnet_of_router.items())
+    return Topology(
+        sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
+        subnet_of_router=subnet_of_router, ingress_names=["left"],
+        victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )

@@ -1,0 +1,23 @@
+"""Transport agents: TCP-like responsive senders, unresponsive CBR
+senders, and receiving sinks.
+
+MAFIC's discrimination signal is behavioural: a conforming TCP sender
+slows down when it sees loss and duplicate ACKs; an attack source (or any
+unresponsive sender) does not.  These agents provide exactly that
+behaviour on top of :mod:`repro.sim`.
+"""
+
+from repro.transport.flow import FlowAgent, FlowStats
+from repro.transport.sink import AckingSink, CountingSink
+from repro.transport.tcp import TcpSender
+from repro.transport.udp import CbrSender, OnOffSender
+
+__all__ = [
+    "AckingSink",
+    "CbrSender",
+    "CountingSink",
+    "FlowAgent",
+    "FlowStats",
+    "OnOffSender",
+    "TcpSender",
+]

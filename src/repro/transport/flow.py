@@ -1,0 +1,102 @@
+"""Base flow-agent machinery shared by TCP and CBR senders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.packet import FlowKey, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Host
+
+
+@dataclass
+class FlowStats:
+    """Sender-side counters every agent maintains."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    acks_received: int = 0
+    dup_acks_received: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    first_send_time: float | None = None
+    last_send_time: float | None = None
+    send_times: list[float] = field(default_factory=list)
+
+    def sending_rate_bps(self, window: float, now: float, packet_size: int) -> float:
+        """Recent sending rate over the trailing ``window`` seconds."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        cutoff = now - window
+        recent = sum(1 for t in self.send_times if t > cutoff)
+        return recent * packet_size * 8.0 / window
+
+
+class FlowAgent:
+    """Common base: owns a flow key, a host, and send bookkeeping.
+
+    Subclasses implement :meth:`start` / :meth:`handle_packet`; the base
+    provides packet construction and the shared counters.  ``is_attack``
+    marks every emitted packet as ground-truth malicious for the metrics
+    layer (the defence never reads it).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow: FlowKey,
+        packet_size: int = 1000,
+        is_attack: bool = False,
+        keep_send_times: bool = False,
+    ) -> None:
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.packet_size = int(packet_size)
+        self.is_attack = bool(is_attack)
+        self.keep_send_times = keep_send_times
+        self.stats = FlowStats()
+        self.started = False
+        self.stopped = False
+
+    def start(self, at: float | None = None) -> None:
+        """Begin sending at absolute time ``at`` (default: now)."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop sending new packets."""
+        self.stopped = True
+
+    def handle_packet(self, packet: Packet, now: float) -> None:
+        """Receive a packet addressed to this agent's source port."""
+        raise NotImplementedError
+
+    def _emit(self, packet: Packet) -> bool:
+        """Send one packet through the host, updating counters."""
+        now = self.sim.now
+        packet.created_at = now
+        packet.ts_val = now
+        packet.is_attack = self.is_attack
+        sent = self.host.send(packet)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size
+        if self.stats.first_send_time is None:
+            self.stats.first_send_time = now
+        self.stats.last_send_time = now
+        if self.keep_send_times:
+            self.stats.send_times.append(now)
+        return sent
+
+    def _make_data(self, seq: int) -> Packet:
+        return Packet(
+            flow=self.flow,
+            size=self.packet_size,
+            seq=seq,
+            is_attack=self.is_attack,
+        )

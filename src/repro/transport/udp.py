@@ -1,0 +1,157 @@
+"""Unresponsive senders: constant bit rate and on-off.
+
+These agents ignore everything the network tells them — exactly the
+behaviour that distinguishes a zombie (or a non-congestion-controlled
+media stream) from a conforming TCP source under MAFIC's probe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.packet import FlowKey, Packet
+from repro.transport.flow import FlowAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Host
+
+
+class CbrSender(FlowAgent):
+    """Constant-bit-rate sender.
+
+    Emits ``packet_size``-byte packets every ``packet_size*8/rate_bps``
+    seconds, optionally with multiplicative jitter.  ``spoof`` lets a
+    zombie rewrite the claimed source address of each packet (the flow key
+    stays fixed unless the spoofer varies it — MAFIC tracks flows by the
+    4-tuple, so per-packet source rotation creates *new* flows).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow: FlowKey,
+        rate_bps: float = 1e6,
+        packet_size: int = 1000,
+        is_attack: bool = False,
+        jitter: float = 0.0,
+        rng=None,
+        spoof: Callable[[Packet], Packet] | None = None,
+        keep_send_times: bool = False,
+    ) -> None:
+        super().__init__(sim, host, flow, packet_size, is_attack=is_attack,
+                         keep_send_times=keep_send_times)
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.rate_bps = float(rate_bps)
+        self.jitter = float(jitter)
+        self._rng = rng
+        self._spoof = spoof
+        self._seq = 0
+
+    @property
+    def interval(self) -> float:
+        """Nominal inter-packet gap in seconds."""
+        return self.packet_size * 8.0 / self.rate_bps
+
+    def start(self, at: float | None = None) -> None:
+        """Begin emitting at absolute time ``at`` (default now)."""
+        if self.started:
+            raise RuntimeError("sender already started")
+        self.started = True
+        when = self.sim.now if at is None else at
+        self.sim.schedule_at(when, self._tick)
+
+    def handle_packet(self, packet: Packet, now: float) -> None:
+        """Ignore all feedback (ACKs, probes): unresponsive by design."""
+        self.stats.acks_received += 1
+
+    def _tick(self) -> None:
+        if self.stopped:
+            return
+        packet = self._make_data(self._seq)
+        self._seq += 1
+        if self._spoof is not None:
+            packet = self._spoof(packet)
+        self._emit(packet)
+        gap = self.interval
+        if self.jitter > 0:
+            gap *= 1.0 + self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+        self.sim.schedule(gap, self._tick)
+
+    def _emit(self, packet: Packet) -> bool:
+        # CbrSender may replace the packet's flow via spoofing, so stats
+        # are tracked here rather than via _make_data's flow.
+        return super()._emit(packet)
+
+
+class OnOffSender(CbrSender):
+    """Exponential on-off CBR: bursts at ``rate_bps``, silent in between.
+
+    Used for pulsing-attack ablations and as a bursty legitimate UDP
+    workload.  ``mean_on``/``mean_off`` are the exponential means of the
+    burst and silence durations.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow: FlowKey,
+        rate_bps: float = 1e6,
+        packet_size: int = 1000,
+        mean_on: float = 0.5,
+        mean_off: float = 0.5,
+        is_attack: bool = False,
+        rng=None,
+        spoof: Callable[[Packet], Packet] | None = None,
+        keep_send_times: bool = False,
+    ) -> None:
+        if rng is None:
+            raise ValueError("OnOffSender requires an rng")
+        if mean_on <= 0 or mean_off < 0:
+            raise ValueError("mean_on must be > 0 and mean_off >= 0")
+        super().__init__(sim, host, flow, rate_bps, packet_size,
+                         is_attack=is_attack, rng=rng, spoof=spoof,
+                         keep_send_times=keep_send_times)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self._on = False
+        self._phase_ends = 0.0
+
+    def start(self, at: float | None = None) -> None:
+        """Begin the first burst at ``at`` (default now)."""
+        if self.started:
+            raise RuntimeError("sender already started")
+        self.started = True
+        when = self.sim.now if at is None else at
+        self.sim.schedule_at(when, self._start_burst)
+
+    def _start_burst(self) -> None:
+        if self.stopped:
+            return
+        self._on = True
+        self._phase_ends = self.sim.now + float(self._rng.exponential(self.mean_on))
+        self._tick()
+
+    def _tick(self) -> None:
+        if self.stopped:
+            return
+        if not self._on:
+            return
+        if self.sim.now >= self._phase_ends:
+            self._on = False
+            off = float(self._rng.exponential(self.mean_off)) if self.mean_off else 0.0
+            self.sim.schedule(off, self._start_burst)
+            return
+        packet = self._make_data(self._seq)
+        self._seq += 1
+        if self._spoof is not None:
+            packet = self._spoof(packet)
+        self._emit(packet)
+        self.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,74 @@
+"""Stable, process-independent hashing.
+
+Python's built-in :func:`hash` is randomized per process for strings, which
+would make flow tables non-reproducible across runs.  MAFIC stores *hashed*
+flow labels (Section III.B of the paper), so the hash must be stable: the
+same 4-tuple must map to the same 64-bit value in every run and on every
+platform.  We use FNV-1a, which is tiny, fast, and has adequate dispersion
+for table keys.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """Return the 64-bit FNV-1a hash of ``data``.
+
+    >>> fnv1a_64(b"") == 0xCBF29CE484222325
+    True
+    """
+    h = _FNV_OFFSET_BASIS_64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME_64) & _MASK_64
+    return h
+
+
+def fmix64(h: int) -> int:
+    """MurmurHash3's 64-bit finalizer: full avalanche over all bits.
+
+    FNV-1a alone disperses its low bits well but its high bits poorly,
+    which ruins sketches that bucket on the top bits; this finalizer
+    fixes that.
+    """
+    h &= _MASK_64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK_64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK_64
+    h ^= h >> 33
+    return h
+
+
+def stable_hash64(*parts: int | str | bytes) -> int:
+    """Hash a heterogeneous tuple of parts into a stable 64-bit integer.
+
+    Integer parts are encoded as 8-byte big-endian (masked to 64 bits),
+    strings as UTF-8.  A one-byte type tag and a separator byte keep
+    adjacent parts from colliding (``("ab", "c")`` vs ``("a", "bc")``).
+    The FNV-1a core is finalized with :func:`fmix64` so every output bit
+    avalanches (sketches bucket on the high bits).
+    """
+    buf = bytearray()
+    for part in parts:
+        if isinstance(part, bool):
+            # bool is an int subclass; tag it distinctly for clarity.
+            buf.append(0x03)
+            buf.append(1 if part else 0)
+        elif isinstance(part, int):
+            buf.append(0x01)
+            buf.extend((part & _MASK_64).to_bytes(8, "big"))
+        elif isinstance(part, str):
+            buf.append(0x02)
+            buf.extend(part.encode("utf-8"))
+        elif isinstance(part, bytes):
+            buf.append(0x04)
+            buf.extend(part)
+        else:
+            raise TypeError(f"unhashable part type: {type(part).__name__}")
+        buf.append(0x1F)  # unit separator
+    return fmix64(fnv1a_64(bytes(buf)))

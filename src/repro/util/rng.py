@@ -1,0 +1,76 @@
+"""Named, seeded random-number streams.
+
+Every stochastic decision in the simulator (packet drops, spoofed address
+draws, flow start jitter, ...) pulls from a *named* stream derived from a
+single experiment seed.  Two properties follow:
+
+* **Reproducibility** — the same seed always yields the same run.
+* **Isolation** — adding a new consumer of randomness does not perturb the
+  draws seen by existing consumers, because each stream is derived from
+  ``(root_seed, name)`` rather than shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import stable_hash64
+
+
+def derive_seed(root_seed: int, *names: int | str) -> int:
+    """Derive a child seed from a root seed and a path of names.
+
+    The derivation is a stable hash, so it is insensitive to the order in
+    which streams are first requested.
+    """
+    return stable_hash64(root_seed, *names)
+
+
+class RngRegistry:
+    """A factory of named :class:`numpy.random.Generator` streams.
+
+    >>> reg = RngRegistry(42)
+    >>> a = reg.stream("drops")
+    >>> b = reg.stream("drops")
+    >>> a is b
+    True
+    >>> reg2 = RngRegistry(42)
+    >>> float(a.random()) == float(reg2.stream("drops").random())
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        if not isinstance(root_seed, int):
+            raise TypeError("root_seed must be an int")
+        self._root_seed = root_seed
+        self._streams: dict[tuple[int | str, ...], np.random.Generator] = {}
+
+    @property
+    def root_seed(self) -> int:
+        """The root seed this registry was created with."""
+        return self._root_seed
+
+    def stream(self, *names: int | str) -> np.random.Generator:
+        """Return the generator for the stream named by ``names``.
+
+        The same name path always returns the same generator object, so
+        consumers may either cache it or re-request it each time.
+        """
+        if not names:
+            raise ValueError("a stream needs at least one name component")
+        key = tuple(names)
+        gen = self._streams.get(key)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self._root_seed, *names))
+            self._streams[key] = gen
+        return gen
+
+    def fork(self, *names: int | str) -> "RngRegistry":
+        """Return a new registry rooted at a derived seed.
+
+        Useful for giving a subsystem its own namespace of streams.
+        """
+        return RngRegistry(derive_seed(self._root_seed, *names))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RngRegistry(root_seed={self._root_seed}, streams={len(self._streams)})"

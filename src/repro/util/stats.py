@@ -1,0 +1,144 @@
+"""Small online statistics helpers used by rate monitors and metrics."""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of the newest sample; ``alpha=1`` tracks the
+    last sample exactly, small alpha smooths heavily.
+    """
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    @property
+    def value(self) -> float | None:
+        """Current average, or ``None`` before any sample."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold in one sample and return the new average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._value = None
+
+
+class RunningStats:
+    """Welford online mean/variance.
+
+    Numerically stable; supports merge for parallel collection.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, sample: float) -> None:
+        """Fold in one sample."""
+        x = float(sample)
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than 2 samples)."""
+        return self._m2 / self.count if self.count >= 2 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen (+inf when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen (-inf when empty)."""
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new RunningStats equal to the union of both sample sets."""
+        merged = RunningStats()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = n
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+
+class WindowedRate:
+    """Event rate over a sliding time window.
+
+    Used by MAFIC's per-flow arrival-rate monitor: the ATR records packet
+    arrival timestamps and asks for the arrival rate over the last
+    ``window`` seconds.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._times: deque[float] = deque()
+        self._weights: deque[float] = deque()
+        self._weight_sum = 0.0
+
+    def record(self, now: float, weight: float = 1.0) -> None:
+        """Record an event of ``weight`` (e.g. packet size) at time ``now``."""
+        self._times.append(float(now))
+        self._weights.append(float(weight))
+        self._weight_sum += float(weight)
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Events (weighted) per second over the trailing window."""
+        self._expire(now)
+        return self._weight_sum / self.window
+
+    def count(self, now: float) -> int:
+        """Number of events currently inside the window."""
+        self._expire(now)
+        return len(self._times)
+
+    def _expire(self, now: float) -> None:
+        cutoff = float(now) - self.window
+        while self._times and self._times[0] <= cutoff:
+            self._times.popleft()
+            self._weight_sum -= self._weights.popleft()
+        if not self._times:
+            self._weight_sum = 0.0

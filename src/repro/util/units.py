@@ -1,0 +1,44 @@
+"""Rate and size unit conversions.
+
+The simulator's canonical units are **seconds**, **bytes** (packet sizes),
+and **bits per second** (link and source rates).  These helpers keep
+conversions explicit at call sites.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return float(n_bytes) * BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return float(n_bits) / BITS_PER_BYTE
+
+
+def kbps(value: float) -> float:
+    """Kilobits/second to bits/second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits/second to bits/second."""
+    return float(value) * 1e6
+
+
+def pkts_per_sec(rate_bps: float, packet_size_bytes: float) -> float:
+    """Packets per second implied by a bit rate and a packet size."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet_size_bytes must be positive")
+    return float(rate_bps) / bytes_to_bits(packet_size_bytes)
+
+
+def transmission_delay(packet_size_bytes: float, bandwidth_bps: float) -> float:
+    """Seconds required to serialize a packet onto a link."""
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth_bps must be positive")
+    return bytes_to_bits(packet_size_bytes) / float(bandwidth_bps)

@@ -1,0 +1,71 @@
+"""Tests for repro.analysis.convergence."""
+
+import pytest
+
+from repro.analysis.convergence import converged, settling_time
+
+
+class TestConverged:
+    def test_flat_series_converged(self):
+        assert converged([5.0] * 6, window=5)
+
+    def test_small_wiggle_converged(self):
+        assert converged([10, 10.5, 9.8, 10.1, 9.9], window=5, tolerance=0.1)
+
+    def test_large_swing_not_converged(self):
+        assert not converged([10, 20, 10, 20, 10], window=5, tolerance=0.1)
+
+    def test_too_short_not_converged(self):
+        assert not converged([1.0, 1.0], window=5)
+
+    def test_only_tail_matters(self):
+        values = [100, 0, 100, 0] + [5.0] * 5
+        assert converged(values, window=5)
+
+    def test_zero_mean_requires_all_zero(self):
+        assert converged([0.0] * 5, window=5)
+        assert not converged([-1.0, 1.0, -1.0, 1.0, 0.0], window=5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            converged([1.0], window=1)
+        with pytest.raises(ValueError):
+            converged([1.0] * 5, window=5, tolerance=0.0)
+
+
+class TestSettlingTime:
+    def test_step_response(self):
+        times = [float(i) for i in range(10)]
+        values = [100.0, 90.0, 50.0, 20.0] + [10.0] * 6
+        settle = settling_time(times, values, window=3, tolerance=0.1)
+        assert settle is not None
+        assert settle >= 3.0  # after the transient
+
+    def test_never_settles(self):
+        times = [float(i) for i in range(8)]
+        values = [10.0, 100.0] * 4
+        assert settling_time(times, values, window=3, tolerance=0.1) is None
+
+    def test_immediately_settled(self):
+        times = [float(i) for i in range(6)]
+        assert settling_time(times, [7.0] * 6, window=3) == 0.0
+
+    def test_short_series(self):
+        assert settling_time([0.0], [1.0], window=3) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            settling_time([0.0, 1.0], [1.0], window=2)
+
+    def test_fig4b_style_usage(self):
+        """Victim rate: calm, flood, cut, steady — settles post-cut."""
+        times = [i * 0.1 for i in range(30)]
+        values = (
+            [100.0] * 10  # calm
+            + [500.0, 900.0, 1000.0, 1000.0, 950.0]  # flood
+            + [200.0, 120.0]  # the cut
+            + [100.0] * 13  # steady again
+        )
+        settle = settling_time(times, values, window=5, tolerance=0.2)
+        assert settle is not None
+        assert settle >= 1.5

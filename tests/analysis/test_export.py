@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.export."""
+
+import csv
+import json
+
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_dict,
+    summary_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.experiments.figures import FigureResult
+from repro.metrics.rates import MetricsSummary
+
+
+def figure():
+    fig = FigureResult("fig3a", "accuracy", "Vt", "alpha")
+    fig.add_point("Pd=90%", 10, 99.4)
+    fig.add_point("Pd=90%", 50, 99.3)
+    fig.add_point("Pd=70%", 10, 98.1)
+    return fig
+
+
+def summary():
+    return MetricsSummary(
+        accuracy=0.99, traffic_reduction=0.85,
+        false_positive_rate=0.0, false_negative_rate=0.01,
+        legit_drop_rate=0.03, attack_examined=100, attack_dropped=99,
+        total_examined=150,
+    )
+
+
+class TestDictExports:
+    def test_summary_round_trips_through_json(self):
+        payload = summary_to_dict(summary())
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["accuracy"] == 0.99
+        assert payload["attack_examined"] == 100
+
+    def test_figure_dict_shape(self):
+        payload = figure_to_dict(figure())
+        assert payload["figure_id"] == "fig3a"
+        assert payload["series"]["Pd=90%"] == [[10, 99.4], [50, 99.3]]
+
+
+class TestCsvExport:
+    def test_wide_rows(self):
+        rows = figure_to_csv(figure())
+        assert rows[0] == ["x", "Pd=90%", "Pd=70%"]
+        assert rows[1] == [10, 99.4, 98.1]
+        assert rows[2] == [50, 99.3, ""]  # missing cell blank
+
+    def test_write_csv(self, tmp_path):
+        target = write_csv(figure(), tmp_path / "fig.csv")
+        with target.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["x", "Pd=90%", "Pd=70%"]
+        assert len(rows) == 3
+
+    def test_write_json(self, tmp_path):
+        target = write_json(figure_to_dict(figure()), tmp_path / "fig.json")
+        loaded = json.loads(target.read_text())
+        assert loaded["figure_id"] == "fig3a"

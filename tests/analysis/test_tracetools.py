@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.tracetools."""
+
+import pytest
+
+from repro.analysis.tracetools import (
+    atr_activity,
+    drop_reason_timeline,
+    latency_stats,
+    probe_to_verdict_latencies,
+)
+from repro.sim.trace import EventTrace
+
+
+def synthetic_trace():
+    trace = EventTrace()
+    trace.record(1.0, "pushback.start", atr="ingress0")
+    trace.record(1.1, "probe.sent", flow=7, atr="ingress0")
+    trace.record(1.1, "drop.probe", flow=7, atr="ingress0")
+    trace.record(1.2, "probe.sent", flow=9, atr="ingress0")
+    trace.record(1.2, "drop.probe", flow=9, atr="ingress0")
+    trace.record(1.5, "flow.nice", flow=7, atr="ingress0")
+    trace.record(1.6, "flow.cut", flow=9, atr="ingress0")
+    trace.record(2.0, "drop.pdt", flow=9, atr="ingress0")
+    trace.record(2.3, "drop.pdt", flow=9, atr="ingress0")
+    trace.record(3.0, "pushback.stop", atr="ingress0")
+    return trace
+
+
+class TestProbeLatencies:
+    def test_pairs_probe_with_verdict(self):
+        latencies = probe_to_verdict_latencies(synthetic_trace())
+        by_flow = {item.flow: item for item in latencies}
+        assert by_flow[7].latency == pytest.approx(0.4)
+        assert by_flow[7].verdict == "nice"
+        assert by_flow[9].latency == pytest.approx(0.4)
+        assert by_flow[9].verdict == "cut"
+
+    def test_verdict_without_probe_ignored(self):
+        trace = EventTrace()
+        trace.record(1.0, "flow.cut", flow=1, atr="a")
+        assert probe_to_verdict_latencies(trace) == []
+
+    def test_only_first_verdict_counts(self):
+        trace = EventTrace()
+        trace.record(1.0, "probe.sent", flow=1, atr="a")
+        trace.record(1.5, "flow.nice", flow=1, atr="a")
+        trace.record(2.5, "flow.cut", flow=1, atr="a")
+        latencies = probe_to_verdict_latencies(trace)
+        assert len(latencies) == 1
+        assert latencies[0].verdict == "nice"
+
+    def test_stats_fold(self):
+        stats = latency_stats(probe_to_verdict_latencies(synthetic_trace()))
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(0.4)
+
+    def test_real_run_latencies_near_probe_window(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        run = run_experiment(
+            ExperimentConfig(total_flows=10, n_routers=10, duration=3.0,
+                             seed=93)
+        )
+        latencies = probe_to_verdict_latencies(run.scenario.trace)
+        assert latencies
+        window = run.config.mafic.probe_window(None)
+        for item in latencies:
+            assert 0 < item.latency <= 2.5 * window
+
+
+class TestAtrActivity:
+    def test_summary_fields(self):
+        activity = atr_activity(synthetic_trace())
+        item = activity["ingress0"]
+        assert item.activated_at == 1.0
+        assert item.deactivated_at == 3.0
+        assert item.probes == 2
+        assert item.verdicts_nice == 1
+        assert item.verdicts_cut == 1
+        assert item.drops_by_reason == {"probe": 2, "pdt": 2}
+
+    def test_empty_trace(self):
+        assert atr_activity(EventTrace()) == {}
+
+
+class TestDropTimeline:
+    def test_bins_counts_by_reason(self):
+        timeline = drop_reason_timeline(synthetic_trace(), bin_width=1.0)
+        assert timeline["probe"] == [(1.5, 2)]
+        assert timeline["pdt"] == [(2.5, 2)]
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            drop_reason_timeline(EventTrace(), bin_width=0)

@@ -1,0 +1,118 @@
+"""Tests for repro.attacks.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.scenarios import AttackScenario, AttackScenarioConfig
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.attacks.zombie import ZombieConfig
+from repro.sim.topology import build_star_domain
+from repro.transport.sink import CountingSink
+
+
+def make_scenario(topo=None, **config_kwargs):
+    topo = topo if topo is not None else build_star_domain(n_ingress=4)
+    sink = CountingSink(topo.sim)
+    topo.victim_host.bind_port(80, sink)
+    config = AttackScenarioConfig(**config_kwargs)
+    scenario = AttackScenario(
+        topo, config, victim_port=80, rng=np.random.default_rng(9)
+    )
+    return topo, scenario, sink
+
+
+class TestPlacement:
+    def test_round_robin_across_ingresses(self):
+        _, scenario, _ = make_scenario(n_zombies=8)
+        hosts = [z.host.name for z in scenario.zombies]
+        assert hosts == [f"src{i % 4}" for i in range(8)]
+
+    def test_subset_placement(self):
+        _, scenario, _ = make_scenario(
+            n_zombies=4, ingress_subset=["ingress1", "ingress2"]
+        )
+        assert {z.host.name for z in scenario.zombies} == {"src1", "src2"}
+
+    def test_atr_ground_truth(self):
+        _, scenario, _ = make_scenario(n_zombies=2)
+        assert scenario.atr_ground_truth == {"ingress0", "ingress1"}
+
+    def test_atr_ground_truth_with_subset(self):
+        _, scenario, _ = make_scenario(
+            n_zombies=3, ingress_subset=["ingress3"]
+        )
+        assert scenario.atr_ground_truth == {"ingress3"}
+
+    def test_unknown_ingress_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario(n_zombies=1, ingress_subset=["ghost"])
+
+    def test_zero_zombies_allowed(self):
+        _, scenario, _ = make_scenario(n_zombies=0)
+        assert scenario.zombies == []
+
+
+class TestScheduling:
+    def test_attack_starts_at_configured_time(self):
+        topo, scenario, sink = make_scenario(
+            n_zombies=2, start_time=0.5, start_jitter=0.0,
+            zombie=ZombieConfig(rate_bps=400e3, jitter=0.0),
+        )
+        scenario.schedule()
+        topo.sim.run(until=0.45)
+        assert sink.packets_received == 0
+        topo.sim.run(until=1.5)
+        assert sink.packets_received > 0
+
+    def test_stop_time_halts_attack(self):
+        topo, scenario, sink = make_scenario(
+            n_zombies=2, start_time=0.1, stop_time=0.5, start_jitter=0.0,
+            zombie=ZombieConfig(rate_bps=400e3, jitter=0.0),
+        )
+        scenario.schedule()
+        topo.sim.run(until=2.0)
+        sent = scenario.total_attack_packets_sent()
+        # ~0.4 s at 50 pkt/s each.
+        assert sent == pytest.approx(2 * 20, abs=8)
+
+    def test_double_schedule_rejected(self):
+        topo, scenario, _ = make_scenario(n_zombies=1)
+        scenario.schedule()
+        with pytest.raises(RuntimeError):
+            scenario.schedule()
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            AttackScenarioConfig(start_time=1.0, stop_time=0.5)
+
+
+class TestGroundTruth:
+    def test_attack_flow_hashes_stable_spoofers(self):
+        _, scenario, _ = make_scenario(
+            n_zombies=3,
+            zombie=ZombieConfig(
+                spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET)
+            ),
+        )
+        hashes = scenario.attack_flow_hashes()
+        assert len(hashes) == 3
+
+    def test_rotating_spoofers_excluded_from_hashes(self):
+        _, scenario, _ = make_scenario(
+            n_zombies=3,
+            zombie=ZombieConfig(
+                spoofing=SpoofingModel(
+                    mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True
+                )
+            ),
+        )
+        assert scenario.attack_flow_hashes() == set()
+
+    def test_total_attack_packets_counts(self):
+        topo, scenario, _ = make_scenario(
+            n_zombies=2, start_time=0.0, start_jitter=0.0,
+            zombie=ZombieConfig(rate_bps=400e3, jitter=0.0),
+        )
+        scenario.schedule()
+        topo.sim.run(until=1.0)
+        assert scenario.total_attack_packets_sent() > 50

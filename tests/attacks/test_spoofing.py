@@ -1,0 +1,113 @@
+"""Tests for repro.attacks.spoofing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel, make_spoofer
+from repro.sim.address import AddressSpace
+from repro.sim.packet import FlowKey, Packet
+
+
+def _space():
+    space = AddressSpace()
+    for _ in range(4):
+        space.allocate_subnet(24)
+    return space
+
+
+def pkt(src=0x0A000005):
+    return Packet(flow=FlowKey(src, 0x0A630001, 5000, 80))
+
+
+class TestStableSpoofing:
+    def test_none_mode_keeps_true_address(self):
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.NONE), _space(),
+            np.random.default_rng(0), true_address=0x0A000005,
+        )
+        assert spoof(pkt()).src_ip == 0x0A000005
+
+    def test_legit_subnet_address_is_legal(self):
+        space = _space()
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.LEGIT_SUBNET), space,
+            np.random.default_rng(0), true_address=0x0A000005,
+        )
+        rewritten = spoof(pkt())
+        assert space.is_legal_source(rewritten.src_ip)
+
+    def test_illegal_address_fails_legality(self):
+        space = _space()
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.ILLEGAL), space,
+            np.random.default_rng(0), true_address=0x0A000005,
+        )
+        assert not space.is_legal_source(spoof(pkt()).src_ip)
+
+    def test_stable_spoof_is_constant_across_packets(self):
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.LEGIT_SUBNET), _space(),
+            np.random.default_rng(1), true_address=0x0A000005,
+        )
+        sources = {spoof(pkt()).src_ip for _ in range(20)}
+        assert len(sources) == 1
+
+    def test_other_fields_preserved(self):
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.LEGIT_SUBNET), _space(),
+            np.random.default_rng(0), true_address=0x0A000005,
+        )
+        rewritten = spoof(pkt())
+        assert rewritten.flow.dst_ip == 0x0A630001
+        assert rewritten.flow.src_port == 5000
+        assert rewritten.flow.dst_port == 80
+
+
+class TestMixedMode:
+    def test_mixed_respects_illegal_fraction_extremes(self):
+        space = _space()
+        always_illegal = make_spoofer(
+            SpoofingModel(mode=SpoofMode.MIXED, illegal_fraction=1.0),
+            space, np.random.default_rng(0), true_address=1,
+        )
+        assert not space.is_legal_source(always_illegal(pkt()).src_ip)
+        never_illegal = make_spoofer(
+            SpoofingModel(mode=SpoofMode.MIXED, illegal_fraction=0.0),
+            space, np.random.default_rng(0), true_address=1,
+        )
+        assert space.is_legal_source(never_illegal(pkt()).src_ip)
+
+    def test_mixed_fraction_statistics(self):
+        space = _space()
+        rng = np.random.default_rng(2)
+        illegal = 0
+        for _ in range(400):
+            spoof = make_spoofer(
+                SpoofingModel(mode=SpoofMode.MIXED, illegal_fraction=0.25),
+                space, rng, true_address=1,
+            )
+            if not space.is_legal_source(spoof(pkt()).src_ip):
+                illegal += 1
+        assert illegal / 400 == pytest.approx(0.25, abs=0.08)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SpoofingModel(illegal_fraction=1.5)
+
+
+class TestRotation:
+    def test_rotating_spoof_varies_sources(self):
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True),
+            _space(), np.random.default_rng(3), true_address=1,
+        )
+        sources = {spoof(pkt()).src_ip for _ in range(50)}
+        assert len(sources) > 10
+
+    def test_rotation_changes_flow_identity(self):
+        spoof = make_spoofer(
+            SpoofingModel(mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True),
+            _space(), np.random.default_rng(4), true_address=1,
+        )
+        hashes = {spoof(pkt()).flow_hash for _ in range(50)}
+        assert len(hashes) > 10

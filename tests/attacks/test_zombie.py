@@ -1,0 +1,103 @@
+"""Tests for repro.attacks.zombie."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.attacks.zombie import Zombie, ZombieConfig
+from repro.sim.topology import build_dumbbell
+from repro.transport.sink import CountingSink
+from repro.transport.udp import CbrSender, OnOffSender
+
+
+def make_zombie(topo, **config_kwargs):
+    victim = topo.victim_host
+    sink = CountingSink(topo.sim)
+    victim.bind_port(80, sink)
+    zombie = Zombie(
+        sim=topo.sim,
+        host=topo.hosts["src0"],
+        victim_ip=victim.address,
+        victim_port=80,
+        config=ZombieConfig(**config_kwargs),
+        address_space=topo.address_space,
+        rng=np.random.default_rng(5),
+    )
+    return zombie, sink
+
+
+class TestZombie:
+    def test_floods_victim(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        zombie, sink = make_zombie(topo, rate_bps=400e3, jitter=0.0)
+        zombie.start(at=0.0)
+        topo.sim.run(until=1.0)
+        assert sink.packets_received == pytest.approx(50, abs=5)
+        assert sink.attack_packets_received == sink.packets_received
+
+    def test_packets_marked_attack(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(topo, rate_bps=80e3, jitter=0.0)
+        zombie.start(at=0.0)
+        topo.sim.run(until=0.5)
+        assert zombie.stats.packets_sent > 0
+
+    def test_wire_flow_has_spoofed_source(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(
+            topo, spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET),
+        )
+        assert zombie.wire_flow.dst_ip == topo.victim_host.address
+        # Spoofed source is legal but (almost surely) not the true host.
+        assert topo.address_space.is_legal_source(zombie.wire_flow.src_ip)
+
+    def test_wire_flow_matches_emitted_packets(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        zombie, sink = make_zombie(
+            topo, rate_bps=400e3, jitter=0.0,
+            spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET),
+        )
+        seen = []
+        sink._on_packet = lambda p, now: seen.append(p)
+        zombie.start(at=0.0)
+        topo.sim.run(until=0.5)
+        assert seen
+        assert all(p.flow_hash == zombie.wire_flow.hashed() for p in seen)
+
+    def test_rotating_zombie_flagged(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(
+            topo,
+            spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET,
+                                   rotate_per_packet=True),
+        )
+        assert zombie.rotates_sources
+
+    def test_pulsing_zombie_uses_onoff(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(topo, pulsing=True, mean_on=0.1, mean_off=0.1)
+        assert isinstance(zombie.sender, OnOffSender)
+
+    def test_constant_zombie_uses_cbr(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(topo)
+        assert isinstance(zombie.sender, CbrSender)
+        assert not isinstance(zombie.sender, OnOffSender)
+
+    def test_stop(self):
+        topo = build_dumbbell()
+        zombie, _ = make_zombie(topo, rate_bps=400e3, jitter=0.0)
+        zombie.start(at=0.0)
+        topo.sim.run(until=0.3)
+        zombie.stop()
+        sent = zombie.stats.packets_sent
+        topo.sim.run(until=1.0)
+        assert zombie.stats.packets_sent == sent
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ZombieConfig(rate_bps=0)
+        with pytest.raises(ValueError):
+            ZombieConfig(packet_size=0)
+        with pytest.raises(ValueError):
+            ZombieConfig(pulsing=True, mean_on=0)

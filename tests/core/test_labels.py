@@ -1,0 +1,39 @@
+"""Tests for repro.core.labels."""
+
+import pytest
+
+from repro.core.labels import FlowLabel, label_of_packet
+from repro.sim.packet import FlowKey, Packet
+
+
+class TestFlowLabel:
+    def test_from_key_matches_key_hash(self):
+        key = FlowKey(1, 2, 3, 4)
+        assert int(FlowLabel.from_key(key)) == key.hashed()
+
+    def test_label_of_packet(self):
+        packet = Packet(flow=FlowKey(5, 6, 7, 8))
+        assert int(label_of_packet(packet)) == packet.flow_hash
+
+    def test_equality_and_hashability(self):
+        a = FlowLabel.from_key(FlowKey(1, 2, 3, 4))
+        b = FlowLabel.from_key(FlowKey(1, 2, 3, 4))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_distinct_flows_distinct_labels(self):
+        a = FlowLabel.from_key(FlowKey(1, 2, 3, 4))
+        b = FlowLabel.from_key(FlowKey(1, 2, 3, 5))
+        assert a != b
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            FlowLabel(-1)
+        with pytest.raises(ValueError):
+            FlowLabel(1 << 64)
+
+    def test_str_format(self):
+        assert str(FlowLabel(0xAB)) == f"flow:{0xAB:016x}"
+
+    def test_ordering(self):
+        assert FlowLabel(1) < FlowLabel(2)

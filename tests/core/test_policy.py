@@ -1,0 +1,114 @@
+"""Tests for repro.core.policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    AdaptiveMaficPolicy,
+    AggregateRateLimitPolicy,
+    DropDecision,
+    PassthroughPolicy,
+    ProportionalDropPolicy,
+)
+from repro.sim.packet import FlowKey, Packet
+
+
+def pkt(size=1000):
+    return Packet(flow=FlowKey(1, 2, 3, 4), size=size)
+
+
+class TestPassthrough:
+    def test_always_passes(self):
+        policy = PassthroughPolicy()
+        assert all(
+            policy.decide(pkt(), 0.0) is DropDecision.PASS for _ in range(20)
+        )
+
+
+class TestAdaptiveMafic:
+    def test_drop_rate_matches_pd(self):
+        policy = AdaptiveMaficPolicy(0.7, np.random.default_rng(0))
+        outcomes = [policy.decide(pkt(), 0.0) for _ in range(5000)]
+        drops = sum(1 for o in outcomes if o is DropDecision.DROP_AND_PROBE)
+        assert drops / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_drop_decision_kind_is_probe(self):
+        policy = AdaptiveMaficPolicy(1.0, np.random.default_rng(0))
+        assert policy.decide(pkt(), 0.0) is DropDecision.DROP_AND_PROBE
+
+    def test_zero_pd_never_drops(self):
+        policy = AdaptiveMaficPolicy(0.0, np.random.default_rng(0))
+        assert all(
+            policy.decide(pkt(), 0.0) is DropDecision.PASS for _ in range(100)
+        )
+
+    def test_counters(self):
+        policy = AdaptiveMaficPolicy(1.0, np.random.default_rng(0))
+        policy.decide(pkt(), 0.0)
+        assert policy.decisions == 1
+        assert policy.drops == 1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            AdaptiveMaficPolicy(1.1, np.random.default_rng(0))
+
+
+class TestProportional:
+    def test_drop_decision_kind_is_plain_drop(self):
+        policy = ProportionalDropPolicy(1.0, np.random.default_rng(0))
+        assert policy.decide(pkt(), 0.0) is DropDecision.DROP
+
+    def test_drop_rate_matches_pd(self):
+        policy = ProportionalDropPolicy(0.9, np.random.default_rng(1))
+        outcomes = [policy.decide(pkt(), 0.0) for _ in range(5000)]
+        drops = sum(1 for o in outcomes if o is DropDecision.DROP)
+        assert drops / 5000 == pytest.approx(0.9, abs=0.02)
+
+
+class TestAggregateRateLimit:
+    def test_admits_within_budget(self):
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=1.0)
+        # Burst bucket holds 10 kB = 10 packets.
+        outcomes = [policy.decide(pkt(), 0.0) for _ in range(10)]
+        assert all(o is DropDecision.PASS for o in outcomes)
+
+    def test_drops_beyond_burst(self):
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=0.1)
+        outcomes = [policy.decide(pkt(), 0.0) for _ in range(10)]
+        assert DropDecision.DROP in outcomes
+
+    def test_tokens_refill_over_time(self):
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=0.1)
+        for _ in range(10):
+            policy.decide(pkt(), 0.0)
+        assert policy.decide(pkt(), 10.0) is DropDecision.PASS
+
+    def test_sustained_rate_enforced(self):
+        # Burst must hold at least one packet (1000 B); 0.2 s * 10 kB/s = 2 kB.
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=0.2)
+        admitted = 0
+        # Offer 100 pkt/s for 10 s against a 10 pkt/s budget.
+        for i in range(1000):
+            if policy.decide(pkt(), i * 0.01) is DropDecision.PASS:
+                admitted += 1
+        assert admitted == pytest.approx(100, rel=0.25)
+
+    def test_burst_smaller_than_packet_admits_nothing(self):
+        # A bucket that cannot hold one packet never admits: callers must
+        # size burst >= max packet size.
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=0.05)
+        outcomes = [policy.decide(pkt(), i * 0.01) for i in range(100)]
+        assert all(o is DropDecision.DROP for o in outcomes)
+
+    def test_reset_refills(self):
+        policy = AggregateRateLimitPolicy(limit_bps=80e3, burst=0.1)
+        for _ in range(10):
+            policy.decide(pkt(), 0.0)
+        policy.reset()
+        assert policy.decide(pkt(), 0.0) is DropDecision.PASS
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AggregateRateLimitPolicy(limit_bps=0)
+        with pytest.raises(ValueError):
+            AggregateRateLimitPolicy(limit_bps=1e6, burst=0)

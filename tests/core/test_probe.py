@@ -1,0 +1,84 @@
+"""Tests for repro.core.probe."""
+
+import pytest
+
+from repro.core.probe import DupAckProber
+from repro.sim.engine import Simulator
+from repro.sim.node import Router
+from repro.sim.packet import FlowKey, Packet, PacketType
+
+
+class _CapturingRouter(Router):
+    def __init__(self, sim):
+        super().__init__(sim, "atr")
+        self.injected = []
+
+    def receive(self, packet, via=None):
+        self.injected.append((self.sim.now, packet))
+
+
+class TestDupAckProber:
+    def _dropped_packet(self):
+        return Packet(flow=FlowKey(0x0A000001, 0x0A010001, 5000, 80),
+                      seq=17, ts_val=0.9)
+
+    def test_sends_configured_number_of_dup_acks(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=3)
+        prober.probe(self._dropped_packet())
+        sim.run()
+        assert len(router.injected) == 3
+        assert prober.probes_sent == 3
+
+    def test_ack_fields_mirror_receiver(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=1)
+        dropped = self._dropped_packet()
+        prober.probe(dropped)
+        sim.run()
+        _, ack = router.injected[0]
+        assert ack.ptype is PacketType.DUP_ACK
+        assert ack.flow == dropped.flow.reversed()
+        assert ack.ack == dropped.seq
+        assert ack.ts_ecr == dropped.ts_val
+
+    def test_spacing_between_acks(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=3, spacing=0.002)
+        prober.probe(self._dropped_packet())
+        sim.run()
+        times = [t for t, _ in router.injected]
+        assert times[1] - times[0] == pytest.approx(0.002)
+        assert times[2] - times[1] == pytest.approx(0.002)
+
+    def test_zero_acks_is_noop(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=0)
+        prober.probe(self._dropped_packet())
+        sim.run()
+        assert router.injected == []
+
+    def test_ack_size_configurable(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=1, ack_size=64)
+        prober.probe(self._dropped_packet())
+        sim.run()
+        assert router.injected[0][1].size == 64
+
+    def test_on_probe_callback(self, sim):
+        router = _CapturingRouter(sim)
+        prober = DupAckProber(sim, router, dup_acks_per_probe=2)
+        seen = []
+        prober.on_probe = seen.append
+        prober.probe(self._dropped_packet())
+        sim.run()
+        assert len(seen) == 2
+
+    def test_parameter_validation(self, sim):
+        router = _CapturingRouter(sim)
+        with pytest.raises(ValueError):
+            DupAckProber(sim, router, dup_acks_per_probe=-1)
+        with pytest.raises(ValueError):
+            DupAckProber(sim, router, ack_size=0)
+        with pytest.raises(ValueError):
+            DupAckProber(sim, router, spacing=-0.1)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3a", "fig4b", "fig5c", "fig7"):
+            assert name in out
+
+
+class TestRun:
+    def test_small_run_prints_metrics(self, capsys):
+        code = main([
+            "run", "--flows", "8", "--routers", "8", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy alpha" in out
+        assert "pushback" in out
+
+    def test_defense_choice_none(self, capsys):
+        code = main([
+            "run", "--flows", "6", "--routers", "6",
+            "--defense", "none", "--seed", "3",
+        ])
+        assert code == 0
+        assert "never triggered" in capsys.readouterr().out
+
+    def test_pd_flag_accepted(self, capsys):
+        code = main([
+            "run", "--flows", "6", "--routers", "6",
+            "--pd", "0.7", "--seed", "3",
+        ])
+        assert code == 0
+
+
+class TestFigure:
+    def test_figure_to_stdout(self, capsys):
+        code = main(["figure", "fig3a", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# fig3a" in out
+        assert "Pd=90%" in out
+
+    def test_figure_to_file(self, tmp_path, capsys):
+        target = tmp_path / "fig.dat"
+        code = main([
+            "figure", "fig7", "--scale", "0.01", "--out", str(target),
+        ])
+        assert code == 0
+        assert target.exists()
+        assert "# fig7" in target.read_text()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestValidate:
+    def test_feasible_default(self, capsys):
+        assert main(["validate"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_infeasible_low_rate(self, capsys):
+        assert main(["validate", "--rate", "100000"]) == 1
+        out = capsys.readouterr().out
+        assert "detection-infeasible" in out
+        assert "NOT feasible" in out

@@ -1,0 +1,92 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.core.config import MaficConfig
+from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+
+
+class TestTableIIDefaults:
+    def test_defaults_match_table_ii(self):
+        cfg = ExperimentConfig()
+        assert cfg.total_flows == 50  # Vt
+        assert cfg.tcp_fraction == 0.95  # Gamma
+        assert cfg.rate_bps == 1e6  # R
+        assert cfg.n_routers == 40  # N
+        assert cfg.mafic.drop_probability == 0.90  # Pd
+
+    def test_default_defense_is_mafic(self):
+        assert ExperimentConfig().defense is DefenseKind.MAFIC
+
+    def test_default_topology_is_transit_stub(self):
+        assert ExperimentConfig().topology is TopologyKind.TRANSIT_STUB
+
+
+class TestDerivedCounts:
+    def test_workload_partition_sums_to_vt(self):
+        cfg = ExperimentConfig(total_flows=50)
+        assert cfg.n_zombies + cfg.n_tcp + cfg.n_udp_legit == 50
+
+    def test_zombie_count(self):
+        cfg = ExperimentConfig(total_flows=50, attack_fraction=0.4)
+        assert cfg.n_zombies == 20
+
+    def test_at_least_one_zombie_when_fraction_positive(self):
+        cfg = ExperimentConfig(total_flows=2, attack_fraction=0.1)
+        assert cfg.n_zombies == 1
+
+    def test_zero_attack_fraction_means_no_zombies(self):
+        cfg = ExperimentConfig(attack_fraction=0.0)
+        assert cfg.n_zombies == 0
+        assert cfg.n_legit == cfg.total_flows
+
+    def test_tcp_udp_split(self):
+        cfg = ExperimentConfig(total_flows=50, attack_fraction=0.4,
+                               tcp_fraction=0.9)
+        assert cfg.n_tcp == 27
+        assert cfg.n_udp_legit == 3
+
+    def test_legit_rate(self):
+        cfg = ExperimentConfig(rate_bps=1e6, legit_rate_factor=0.25)
+        assert cfg.legit_rate_bps == 250e3
+
+    @pytest.mark.parametrize("vt", [1, 2, 10, 37, 50, 120])
+    def test_partition_always_consistent(self, vt):
+        cfg = ExperimentConfig(total_flows=vt)
+        assert cfg.n_zombies >= 0
+        assert cfg.n_tcp >= 0
+        assert cfg.n_udp_legit >= 0
+        assert cfg.n_zombies + cfg.n_tcp + cfg.n_udp_legit == vt
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        base = ExperimentConfig()
+        tweaked = base.with_overrides(total_flows=99, seed=7)
+        assert tweaked.total_flows == 99
+        assert tweaked.seed == 7
+        assert base.total_flows == 50  # original untouched
+
+    def test_mafic_config_replaceable(self):
+        cfg = ExperimentConfig(mafic=MaficConfig(drop_probability=0.7))
+        assert cfg.mafic.drop_probability == 0.7
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_flows": 0},
+            {"tcp_fraction": 1.5},
+            {"attack_fraction": -0.1},
+            {"rate_bps": 0},
+            {"n_routers": 2},
+            {"duration": 0},
+            {"attack_start": 10.0, "duration": 5.0},
+            {"monitor_period": 0},
+            {"rate_limit_bps": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.figures (scaled-down sweeps)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import FigureResult, _scaled
+
+
+class TestScaledAxis:
+    def test_full_scale_keeps_all(self):
+        assert _scaled([1, 2, 3, 4], 1.0) == [1, 2, 3, 4]
+
+    def test_half_scale_keeps_ends(self):
+        thinned = _scaled([1, 2, 3, 4, 5, 6], 0.4)
+        assert thinned[0] == 1
+        assert thinned[-1] == 6
+        assert len(thinned) < 6
+
+    def test_minimum_two_points(self):
+        assert len(_scaled([1, 2, 3, 4, 5, 6], 0.01)) >= 2
+
+    def test_short_lists_untouched(self):
+        assert _scaled([1, 2], 0.1) == [1, 2]
+
+
+class TestFigureResult:
+    def test_add_and_read_points(self):
+        fig = FigureResult("figX", "t", "x", "y")
+        fig.add_point("s", 1.0, 2.0)
+        fig.add_point("s", 2.0, 4.0)
+        assert fig.series["s"] == [(1.0, 2.0), (2.0, 4.0)]
+        assert fig.ys("s") == [2.0, 4.0]
+
+
+@pytest.mark.slow
+class TestFigureSmoke:
+    """One tiny run per figure family to prove the harness end-to-end."""
+
+    def test_fig3a_smoke(self):
+        fig = figures.fig3a(scale=0.01)
+        assert set(fig.series) == {"Pd=90%", "Pd=80%", "Pd=70%"}
+        for ys in (fig.ys(name) for name in fig.series):
+            assert all(0 <= y <= 100 for y in ys)
+
+    def test_fig4b_smoke(self):
+        fig = figures.fig4b(scale=0.01)
+        assert set(fig.series) == {"Vt=10", "Vt=30", "Vt=50"}
+        assert all(len(points) > 10 for points in fig.series.values())
+
+    def test_fig5b_smoke(self):
+        fig = figures.fig5b(scale=0.01)
+        assert set(fig.series) == {"Vt=30", "Vt=70", "Vt=100"}
+
+    def test_fig6c_smoke(self):
+        fig = figures.fig6c(scale=0.01)
+        assert set(fig.series) == {"TCP=95%", "TCP=75%", "TCP=55%", "TCP=35%"}
+
+    def test_fig7_smoke(self):
+        fig = figures.fig7(scale=0.01)
+        assert set(fig.series) == {"Pd=90%", "Pd=80%", "Pd=70%"}
+
+    def test_all_figures_registered(self):
+        assert set(figures.ALL_FIGURES) == {
+            "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b",
+            "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
+        }

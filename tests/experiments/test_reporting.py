@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.reporting."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import format_figure, format_summary
+from repro.metrics.rates import MetricsSummary
+
+
+def summary(**overrides):
+    defaults = dict(
+        accuracy=0.993,
+        traffic_reduction=0.87,
+        false_positive_rate=0.0003,
+        false_negative_rate=0.007,
+        legit_drop_rate=0.021,
+        attack_examined=1000,
+        attack_dropped=993,
+        wellbehaved_examined=500,
+        wellbehaved_dropped=10,
+        victim_rate_before_bps=20e6,
+        victim_rate_after_bps=2e6,
+    )
+    defaults.update(overrides)
+    return MetricsSummary(**defaults)
+
+
+class TestFormatSummary:
+    def test_contains_all_rates(self):
+        text = format_summary(summary())
+        assert "99.30%" in text
+        assert "87.00%" in text
+        assert "alpha" in text
+        assert "theta_p" in text
+        assert "Lr" in text
+
+    def test_contains_counts(self):
+        text = format_summary(summary())
+        assert "1000/993" in text
+        assert "500/10" in text
+
+    def test_rate_line(self):
+        text = format_summary(summary())
+        assert "20.00/2.00" in text
+
+
+class TestFormatFigure:
+    def _figure(self):
+        fig = FigureResult("fig3a", "accuracy", "Vt", "alpha (%)")
+        fig.add_point("Pd=90%", 10, 99.4)
+        fig.add_point("Pd=90%", 50, 99.3)
+        fig.add_point("Pd=70%", 10, 98.1)
+        return fig
+
+    def test_header_and_axes(self):
+        text = format_figure(self._figure())
+        assert text.startswith("# fig3a: accuracy")
+        assert "x: Vt | y: alpha (%)" in text
+
+    def test_rows_aligned_by_x(self):
+        text = format_figure(self._figure())
+        lines = text.splitlines()
+        data_lines = [l for l in lines if not l.startswith("#") and l.strip()]
+        # Header + 2 x rows.
+        assert len(data_lines) == 3
+        assert "10.000" in data_lines[1]
+        assert "99.400" in data_lines[1]
+
+    def test_missing_cell_left_blank(self):
+        text = format_figure(self._figure())
+        row50 = [l for l in text.splitlines() if l.strip().startswith("50")][0]
+        assert "98." not in row50  # Pd=70% has no point at 50
+
+    def test_empty_figure(self):
+        fig = FigureResult("figX", "t", "x", "y")
+        assert "no data" in format_figure(fig)

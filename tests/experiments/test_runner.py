@@ -1,0 +1,93 @@
+"""Integration tests for repro.experiments.runner — full small runs."""
+
+import pytest
+
+from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.experiments.runner import run_experiment
+from repro.metrics.collectors import FlowTruth
+
+
+def small_config(**overrides):
+    defaults = dict(total_flows=12, n_routers=10, duration=3.0, seed=11)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def default_run():
+    """One shared default run (module-scoped: runs are seconds-long)."""
+    return run_experiment(small_config())
+
+
+class TestDefaultRun:
+    def test_defense_activates_after_attack_starts(self, default_run):
+        cfg = default_run.config
+        assert default_run.activation_time is not None
+        assert cfg.attack_start <= default_run.activation_time <= cfg.duration
+
+    def test_attack_mostly_dropped(self, default_run):
+        assert default_run.summary.accuracy > 0.9
+
+    def test_no_wellbehaved_flow_condemned(self, default_run):
+        confusion = default_run.scenario.defense_collector.verdict_confusion()
+        assert confusion.get((FlowTruth.TCP_LEGIT, "cut"), 0) == 0
+
+    def test_attack_flows_condemned(self, default_run):
+        confusion = default_run.scenario.defense_collector.verdict_confusion()
+        cut = confusion.get((FlowTruth.ATTACK, "cut"), 0)
+        illegal = confusion.get((FlowTruth.ATTACK, "illegal_source"), 0)
+        assert cut + illegal >= 1
+
+    def test_victim_sees_rate_collapse(self, default_run):
+        assert default_run.summary.traffic_reduction > 0.5
+
+    def test_identified_atrs_cover_true_atrs(self, default_run):
+        assert default_run.atr_recall >= 0.8
+
+    def test_series_covers_run(self, default_run):
+        series = default_run.series
+        assert series.times[0] >= 0.0
+        assert series.times[-1] <= default_run.config.duration
+        assert series.peak_total_kbps() > 0
+
+    def test_events_and_wall_time_recorded(self, default_run):
+        assert default_run.events_executed > 1000
+        assert default_run.wall_seconds > 0
+
+
+class TestUndefendedControl:
+    def test_no_defense_no_drops(self):
+        run = run_experiment(small_config(defense=DefenseKind.NONE))
+        assert run.summary.total_examined == 0
+        assert run.activation_time is None
+        # Attack keeps hitting the victim for the whole run.
+        attack, _ = run.scenario.victim_collector.arrivals_in(
+            run.config.attack_start + 0.5, run.config.duration
+        )
+        assert attack > 100
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self):
+        a = run_experiment(small_config(seed=21))
+        b = run_experiment(small_config(seed=21))
+        assert a.summary.accuracy == b.summary.accuracy
+        assert a.summary.legit_drop_rate == b.summary.legit_drop_rate
+        assert a.events_executed == b.events_executed
+
+    def test_different_seed_different_run(self):
+        a = run_experiment(small_config(seed=21))
+        b = run_experiment(small_config(seed=22))
+        assert a.events_executed != b.events_executed
+
+
+class TestAtrMetrics:
+    def test_precision_recall_bounds(self, default_run):
+        assert 0.0 <= default_run.atr_precision <= 1.0
+        assert 0.0 <= default_run.atr_recall <= 1.0
+
+    def test_no_attack_means_no_activation(self):
+        run = run_experiment(small_config(attack_fraction=0.0))
+        assert run.activation_time is None
+        assert run.identified_atrs == set()
+        assert run.atr_recall == 1.0  # vacuous

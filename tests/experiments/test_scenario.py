@@ -1,0 +1,107 @@
+"""Tests for repro.experiments.scenario (construction wiring, pre-run)."""
+
+import pytest
+
+from repro.core.policy import (
+    AdaptiveMaficPolicy,
+    AggregateRateLimitPolicy,
+    ProportionalDropPolicy,
+)
+from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.experiments.scenario import build_scenario
+from repro.metrics.collectors import FlowTruth
+
+
+def small_config(**overrides):
+    defaults = dict(
+        total_flows=10, n_routers=8, duration=3.0,
+        topology=TopologyKind.STAR, seed=5,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestConstruction:
+    def test_flow_counts_match_config(self):
+        cfg = small_config()
+        sc = build_scenario(cfg)
+        assert len(sc.tcp_senders) == cfg.n_tcp
+        assert len(sc.udp_senders) == cfg.n_udp_legit
+        assert len(sc.attack.zombies) == cfg.n_zombies
+
+    def test_agents_on_every_ingress(self):
+        cfg = small_config()
+        sc = build_scenario(cfg)
+        assert set(sc.agents) == set(sc.topology.ingress_names)
+
+    def test_agents_initially_inactive(self):
+        sc = build_scenario(small_config())
+        assert all(not agent.active for agent in sc.agents.values())
+
+    def test_no_agents_for_undefended_run(self):
+        sc = build_scenario(small_config(defense=DefenseKind.NONE))
+        assert sc.agents == {}
+
+    def test_counting_registered_on_all_ingresses(self):
+        sc = build_scenario(small_config())
+        assert set(sc.estimator.ingress_names) == set(sc.topology.ingress_names)
+        assert sc.estimator.egress_names == [sc.topology.victim_router_name]
+
+    def test_counting_hook_precedes_dropper(self):
+        """Si must reflect arrivals, not survivors (Section IV wiring)."""
+        from repro.counting.loglog import LogLogLinkCounter
+        from repro.core.mafic import MaficAgent
+
+        sc = build_scenario(small_config())
+        for name in sc.topology.ingress_names:
+            hooks = sc.topology.ingress_uplink(name).head_hooks
+            kinds = [type(h) for h in hooks]
+            assert kinds.index(LogLogLinkCounter) < kinds.index(MaficAgent)
+
+    def test_flow_truth_covers_all_flows(self):
+        cfg = small_config()
+        sc = build_scenario(cfg)
+        truths = list(sc.flow_truth.values())
+        assert truths.count(FlowTruth.TCP_LEGIT) == cfg.n_tcp
+        assert truths.count(FlowTruth.UDP_LEGIT) == cfg.n_udp_legit
+        assert truths.count(FlowTruth.ATTACK) == len(sc.attack.attack_flow_hashes())
+
+    def test_victim_sinks_bound(self):
+        cfg = small_config()
+        sc = build_scenario(cfg)
+        victim = sc.topology.victim_host
+        assert cfg.victim_port in victim._port_handlers
+        assert cfg.udp_port in victim._port_handlers
+
+
+class TestPolicySelection:
+    def test_mafic_uses_adaptive_policy(self):
+        sc = build_scenario(small_config(defense=DefenseKind.MAFIC))
+        agent = next(iter(sc.agents.values()))
+        assert isinstance(agent.policy, AdaptiveMaficPolicy)
+
+    def test_proportional_baseline(self):
+        sc = build_scenario(small_config(defense=DefenseKind.PROPORTIONAL))
+        agent = next(iter(sc.agents.values()))
+        assert isinstance(agent.policy, ProportionalDropPolicy)
+        assert not agent.config.drop_illegal_sources
+
+    def test_rate_limit_baseline(self):
+        sc = build_scenario(small_config(defense=DefenseKind.RATE_LIMIT))
+        agent = next(iter(sc.agents.values()))
+        assert isinstance(agent.policy, AggregateRateLimitPolicy)
+
+
+class TestTopologySelection:
+    @pytest.mark.parametrize(
+        "kind", [TopologyKind.STAR, TopologyKind.TREE, TopologyKind.TRANSIT_STUB]
+    )
+    def test_each_kind_builds(self, kind):
+        sc = build_scenario(small_config(topology=kind, n_routers=10))
+        assert sc.topology.victim_router_name == "lasthop"
+
+    def test_transit_stub_honours_n_routers(self):
+        sc = build_scenario(
+            small_config(topology=TopologyKind.TRANSIT_STUB, n_routers=16)
+        )
+        assert len(sc.topology.routers) == 16

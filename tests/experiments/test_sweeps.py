@@ -1,0 +1,54 @@
+"""Tests for repro.experiments.sweeps."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, TopologyKind
+from repro.experiments.sweeps import mean_of, sweep
+
+
+def tiny(**overrides):
+    defaults = dict(
+        total_flows=6, n_routers=6, duration=2.5,
+        topology=TopologyKind.STAR, seed=31,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestSweep:
+    def test_runs_each_x_value(self):
+        result = sweep(
+            tiny(),
+            x_values=[4, 8],
+            apply=lambda cfg, x: cfg.with_overrides(total_flows=int(x)),
+            name="vt",
+        )
+        assert result.x_values == [4, 8]
+        assert [p.result.config.total_flows for p in result.points] == [4, 8]
+
+    def test_metric_extraction(self):
+        result = sweep(
+            tiny(),
+            x_values=[4, 8],
+            apply=lambda cfg, x: cfg.with_overrides(total_flows=int(x)),
+        )
+        ys = result.ys(lambda run: run.summary.accuracy)
+        assert len(ys) == 2
+        pairs = result.pairs(lambda run: run.summary.accuracy)
+        assert [x for x, _ in pairs] == [4.0, 8.0]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(tiny(), x_values=[], apply=lambda c, x: c)
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(tiny(), x_values=[1], apply=lambda c, x: c, seeds_per_point=0)
+
+    def test_mean_of_helper(self):
+        fold = mean_of(lambda run: 2.0)
+
+        class _Fake:
+            pass
+
+        assert fold([_Fake(), _Fake()]) == 2.0

@@ -1,0 +1,159 @@
+"""Tests for the dynamic (mice) workload and finite TCP transfers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario
+from repro.experiments.workload import (
+    DynamicWorkload,
+    DynamicWorkloadConfig,
+)
+from repro.sim.packet import FlowKey
+from repro.sim.topology import build_dumbbell
+from repro.transport.sink import AckingSink
+from repro.transport.tcp import TcpSender
+
+
+class TestFiniteTcpTransfer:
+    def _wire(self, topo, total):
+        src = topo.hosts["src0"]
+        victim = topo.hosts["victim"]
+        flow = FlowKey(src.address, victim.address, 5000, 80)
+        done = []
+        sender = TcpSender(
+            topo.sim, src, flow, total_segments=total,
+            on_complete=done.append,
+        )
+        src.bind_port(5000, sender)
+        victim.bind_port(80, AckingSink(topo.sim, victim))
+        return sender, done
+
+    def test_transfer_completes_and_stops(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender, done = self._wire(topo, total=10)
+        sender.start(at=0.0)
+        topo.sim.run(until=3.0)
+        assert sender.completed_at is not None
+        assert done == [sender.completed_at]
+        assert sender.stats.packets_sent >= 10
+        # Nothing after completion.
+        sent = sender.stats.packets_sent
+        topo.sim.run(until=4.0)
+        assert sender.stats.packets_sent == sent
+
+    def test_exact_segment_count_without_loss(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender, _ = self._wire(topo, total=7)
+        sender.start(at=0.0)
+        topo.sim.run(until=3.0)
+        assert sender.high_ack == 7
+        assert sender.stats.packets_sent == 7  # no retransmissions needed
+
+    def test_single_segment_transfer(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender, done = self._wire(topo, total=1)
+        sender.start(at=0.0)
+        topo.sim.run(until=2.0)
+        assert len(done) == 1
+
+    def test_invalid_total_rejected(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        with pytest.raises(ValueError):
+            TcpSender(topo.sim, src, FlowKey(1, 2, 3, 4), total_segments=0)
+
+
+class TestDynamicWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicWorkloadConfig(arrival_rate=0)
+        with pytest.raises(ValueError):
+            DynamicWorkloadConfig(mean_segments=0)
+        with pytest.raises(ValueError):
+            DynamicWorkloadConfig(mean_segments=10, max_segments=5)
+        with pytest.raises(ValueError):
+            DynamicWorkloadConfig(start_time=1.0, stop_time=0.5)
+
+
+@pytest.fixture(scope="module")
+def defended_mice_run():
+    cfg = ExperimentConfig(
+        total_flows=10, n_routers=10, duration=3.5, seed=37,
+    )
+    scenario = build_scenario(cfg)
+    workload = DynamicWorkload(
+        DynamicWorkloadConfig(arrival_rate=8.0, mean_segments=6,
+                              stop_time=3.0),
+        rng=np.random.default_rng(7),
+    )
+    workload.install(scenario)
+    scenario.sim.run(until=cfg.duration)
+    return scenario, workload
+
+
+class TestDynamicWorkload:
+    def test_mice_spawn_and_complete(self, defended_mice_run):
+        _, workload = defended_mice_run
+        assert len(workload.records) > 10
+        assert len(workload.completed()) > 5
+
+    def test_completion_times_positive(self, defended_mice_run):
+        _, workload = defended_mice_run
+        assert all(t > 0 for t in workload.completion_times())
+        assert workload.mean_fct() > 0
+
+    def test_percentiles_ordered(self, defended_mice_run):
+        _, workload = defended_mice_run
+        assert (
+            workload.fct_percentile(50)
+            <= workload.fct_percentile(95)
+            <= workload.fct_percentile(100)
+        )
+
+    def test_percentile_validation(self, defended_mice_run):
+        _, workload = defended_mice_run
+        with pytest.raises(ValueError):
+            workload.fct_percentile(101)
+
+    def test_mice_registered_as_wellbehaved(self, defended_mice_run):
+        scenario, workload = defended_mice_run
+        from repro.metrics.collectors import FlowTruth
+
+        for record in workload.records[:5]:
+            assert (
+                scenario.flow_truth[record.flow.hashed()]
+                is FlowTruth.TCP_LEGIT
+            )
+
+    def test_ports_released_after_completion(self, defended_mice_run):
+        scenario, workload = defended_mice_run
+        done = workload.completed()
+        assert done
+        host_ports = {
+            (r.flow.src_ip, r.flow.src_port) for r in done
+        }
+        # Completed transfers unbound their ports: spot-check one host.
+        some = done[0]
+        for host in scenario.topology.hosts.values():
+            if host.address == some.flow.src_ip:
+                assert some.flow.src_port not in host._port_handlers
+
+    def test_double_install_rejected(self):
+        workload = DynamicWorkload(
+            DynamicWorkloadConfig(), rng=np.random.default_rng(0)
+        )
+        cfg = ExperimentConfig(total_flows=6, n_routers=6, duration=2.5,
+                               seed=38)
+        scenario = build_scenario(cfg)
+        workload.install(scenario)
+        with pytest.raises(RuntimeError):
+            workload.install(scenario)
+
+    def test_no_mouse_condemned(self, defended_mice_run):
+        """Mice are conforming TCP: MAFIC must not cut them."""
+        scenario, workload = defended_mice_run
+        from repro.metrics.collectors import FlowTruth
+
+        confusion = scenario.defense_collector.verdict_confusion()
+        assert confusion.get((FlowTruth.TCP_LEGIT, "cut"), 0) <= 1

@@ -1,0 +1,103 @@
+"""Baseline-comparison integration tests.
+
+The paper motivates MAFIC against the proportionate dropper of [2]
+("collateral damages" on legitimate flows); these tests pin down that
+comparison quantitatively in our harness.
+"""
+
+import pytest
+
+from repro.experiments.config import DefenseKind, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.collectors import FlowTruth
+
+
+def config(defense, seed=77, **overrides):
+    defaults = dict(
+        total_flows=16, n_routers=10, duration=3.5, seed=seed, defense=defense
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def mafic_run():
+    return run_experiment(config(DefenseKind.MAFIC))
+
+
+@pytest.fixture(scope="module")
+def proportional_run():
+    return run_experiment(config(DefenseKind.PROPORTIONAL))
+
+
+@pytest.fixture(scope="module")
+def ratelimit_run():
+    return run_experiment(config(DefenseKind.RATE_LIMIT))
+
+
+class TestProportionalBaseline:
+    def test_collateral_far_exceeds_mafic(self, mafic_run, proportional_run):
+        """The whole point of MAFIC: probing slashes legitimate losses."""
+        assert (
+            proportional_run.summary.legit_drop_rate
+            > 5 * mafic_run.summary.legit_drop_rate
+        )
+
+    def test_proportional_drops_legit_at_pd(self, proportional_run):
+        # Every packet faces Bernoulli(Pd): legit losses ~ Pd.
+        assert proportional_run.summary.legit_drop_rate == pytest.approx(
+            0.9, abs=0.08
+        )
+
+    def test_proportional_never_fully_cuts_attack(self, proportional_run):
+        # Memoryless dropping leaks (1-Pd) of the flood forever.
+        assert 0.05 <= proportional_run.summary.false_negative_rate <= 0.2
+
+    def test_mafic_beats_proportional_on_accuracy(
+        self, mafic_run, proportional_run
+    ):
+        assert mafic_run.summary.accuracy > proportional_run.summary.accuracy
+
+    def test_proportional_builds_no_tables(self, proportional_run):
+        for agent in proportional_run.scenario.agents.values():
+            assert agent.tables.counters.sft_admissions == 0
+
+
+class TestRateLimitBaseline:
+    def test_rate_limit_caps_aggregate(self, ratelimit_run):
+        """Aggregate limiting reduces the flood but hits legit flows too."""
+        assert ratelimit_run.summary.traffic_reduction > 0.3
+        assert ratelimit_run.summary.legit_drop_rate > 0.1
+
+    def test_mafic_collateral_lower_than_rate_limit(
+        self, mafic_run, ratelimit_run
+    ):
+        assert (
+            mafic_run.summary.legit_drop_rate
+            < ratelimit_run.summary.legit_drop_rate
+        )
+
+    def test_rate_limit_indiscriminate(self, ratelimit_run):
+        """Attack and legit suffer comparable drop ratios under aggregate
+        limiting (no per-flow discrimination)."""
+        dc = ratelimit_run.scenario.defense_collector
+        attack = dc.of(FlowTruth.ATTACK)
+        nice = dc.of(FlowTruth.TCP_LEGIT)
+        if attack.examined and nice.examined:
+            attack_ratio = attack.dropped / attack.examined
+            nice_ratio = nice.dropped / nice.examined
+            assert attack_ratio < 0.995  # leaks attack
+            assert nice_ratio > 0.05  # hurts legit
+
+
+class TestDefenseOrdering:
+    def test_mafic_best_on_combined_score(
+        self, mafic_run, proportional_run, ratelimit_run
+    ):
+        """MAFIC should dominate: high accuracy AND low collateral."""
+
+        def score(run):
+            return run.summary.accuracy - run.summary.legit_drop_rate
+
+        assert score(mafic_run) > score(proportional_run)
+        assert score(mafic_run) > score(ratelimit_run)

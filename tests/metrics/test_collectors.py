@@ -1,0 +1,112 @@
+"""Tests for repro.metrics.collectors."""
+
+import pytest
+
+from repro.core.labels import FlowLabel
+from repro.metrics.collectors import (
+    DefenseMetricsCollector,
+    FlowTruth,
+    VictimMetricsCollector,
+)
+from repro.sim.packet import FlowKey, Packet
+
+
+def pkt(flow=None, is_attack=False, size=1000):
+    p = Packet(flow=flow if flow is not None else FlowKey(1, 2, 3, 4), size=size)
+    p.is_attack = is_attack
+    return p
+
+
+class TestDefenseMetricsCollector:
+    def test_classification_by_is_attack_flag(self):
+        dc = DefenseMetricsCollector()
+        dc.on_defense_drop(pkt(is_attack=True), "pdt", 1.0)
+        assert dc.of(FlowTruth.ATTACK).dropped == 1
+
+    def test_classification_by_flow_truth_map(self):
+        flow = FlowKey(1, 2, 3, 4)
+        dc = DefenseMetricsCollector({flow.hashed(): FlowTruth.TCP_LEGIT})
+        dc.on_defense_pass(pkt(flow), 1.0)
+        assert dc.of(FlowTruth.TCP_LEGIT).passed == 1
+
+    def test_unknown_flows_bucketed(self):
+        dc = DefenseMetricsCollector()
+        dc.on_defense_pass(pkt(), 1.0)
+        assert dc.of(FlowTruth.UNKNOWN).examined == 1
+
+    def test_drop_reason_breakdown(self):
+        flow = FlowKey(1, 2, 3, 4)
+        dc = DefenseMetricsCollector({flow.hashed(): FlowTruth.TCP_LEGIT})
+        dc.on_defense_drop(pkt(flow), "probe", 1.0)
+        dc.on_defense_drop(pkt(flow), "pdt", 1.1)
+        dc.on_defense_drop(pkt(flow), "illegal", 1.2)
+        dc.on_defense_drop(pkt(flow), "policy", 1.3)
+        counts = dc.of(FlowTruth.TCP_LEGIT)
+        assert counts.dropped_probe == 1
+        assert counts.dropped_pdt == 1
+        assert counts.dropped_illegal == 1
+        assert counts.dropped_policy == 1
+        assert counts.dropped == 4
+        assert counts.examined == 4
+
+    def test_totals(self):
+        dc = DefenseMetricsCollector()
+        dc.on_defense_drop(pkt(is_attack=True), "pdt", 1.0)
+        dc.on_defense_pass(pkt(), 1.0)
+        assert dc.total_examined == 2
+        assert dc.total_dropped == 1
+
+    def test_first_drop_time(self):
+        dc = DefenseMetricsCollector()
+        assert dc.first_drop_time is None
+        dc.on_defense_drop(pkt(), "probe", 2.5)
+        dc.on_defense_drop(pkt(), "probe", 3.5)
+        assert dc.first_drop_time == 2.5
+
+    def test_verdict_confusion(self):
+        label = FlowLabel(FlowKey(1, 2, 3, 4).hashed())
+        dc = DefenseMetricsCollector({int(label): FlowTruth.ATTACK})
+        dc.on_verdict(label, "cut", 1.0)
+        dc.on_verdict(FlowLabel(99), "nice", 1.1)
+        confusion = dc.verdict_confusion()
+        assert confusion[(FlowTruth.ATTACK, "cut")] == 1
+        assert confusion[(FlowTruth.UNKNOWN, "nice")] == 1
+
+
+class TestVictimMetricsCollector:
+    def test_arrival_accounting(self):
+        vc = VictimMetricsCollector()
+        vc.on_packet(pkt(is_attack=True), 1.0)
+        vc.on_packet(pkt(), 2.0)
+        assert vc.attack_packets == 1
+        assert vc.legit_packets == 1
+        assert len(vc.arrivals) == 2
+
+    def test_arrivals_in_window(self):
+        vc = VictimMetricsCollector()
+        for t in (0.5, 1.5, 2.5):
+            vc.on_packet(pkt(is_attack=(t > 1)), t)
+        attack, legit = vc.arrivals_in(1.0, 3.0)
+        assert (attack, legit) == (2, 0)
+
+    def test_window_half_open(self):
+        vc = VictimMetricsCollector()
+        vc.on_packet(pkt(), 1.0)
+        assert vc.arrivals_in(1.0, 2.0) == (0, 1)
+        assert vc.arrivals_in(0.0, 1.0) == (0, 0)
+
+    def test_rate_bps(self):
+        vc = VictimMetricsCollector()
+        vc.on_packet(pkt(size=1000), 0.5)
+        vc.on_packet(pkt(size=1000), 0.9)
+        assert vc.rate_bps_in(0.0, 1.0) == pytest.approx(16_000)
+
+    def test_rate_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            VictimMetricsCollector().rate_bps_in(1.0, 1.0)
+
+    def test_activation_marked_once(self):
+        vc = VictimMetricsCollector()
+        vc.mark_defense_activation(1.5)
+        vc.mark_defense_activation(2.5)
+        assert vc.defense_activated_at == 1.5

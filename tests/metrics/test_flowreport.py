@@ -1,0 +1,80 @@
+"""Tests for repro.metrics.flowreport."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.collectors import FlowTruth
+from repro.metrics.flowreport import FlowFate, FlowReport, build_flow_report
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_experiment(
+        ExperimentConfig(total_flows=12, n_routers=10, duration=3.0, seed=83)
+    )
+
+
+@pytest.fixture(scope="module")
+def report(run):
+    return build_flow_report(run.scenario)
+
+
+class TestFlowFate:
+    def test_attack_cut_is_correct(self):
+        fate = FlowFate(1, FlowTruth.ATTACK, verdict="cut")
+        assert fate.correctly_judged is True
+
+    def test_attack_nice_is_wrong(self):
+        fate = FlowFate(1, FlowTruth.ATTACK, verdict="nice")
+        assert fate.correctly_judged is False
+
+    def test_tcp_nice_is_correct(self):
+        fate = FlowFate(1, FlowTruth.TCP_LEGIT, verdict="nice")
+        assert fate.correctly_judged is True
+
+    def test_tcp_cut_is_wrong(self):
+        fate = FlowFate(1, FlowTruth.TCP_LEGIT, verdict="cut")
+        assert fate.correctly_judged is False
+
+    def test_no_verdict_is_none(self):
+        assert FlowFate(1, FlowTruth.ATTACK).correctly_judged is None
+
+    def test_udp_legit_has_no_correctness(self):
+        fate = FlowFate(1, FlowTruth.UDP_LEGIT, verdict="cut")
+        assert fate.correctly_judged is None
+
+
+class TestBuiltReport:
+    def test_covers_every_configured_flow(self, run, report):
+        assert len(report.fates) >= run.config.total_flows - run.config.n_zombies
+
+    def test_sender_counts_populated(self, report):
+        tcp_fates = report.of_truth(FlowTruth.TCP_LEGIT)
+        assert tcp_fates
+        assert all(f.packets_sent > 0 for f in tcp_fates)
+
+    def test_attack_flows_have_verdicts(self, report):
+        attacks = report.of_truth(FlowTruth.ATTACK)
+        judged = [f for f in attacks if f.verdict is not None]
+        assert len(judged) >= 0.6 * len(attacks)
+
+    def test_no_misjudged_tcp(self, report):
+        wrong = [
+            f for f in report.misjudged() if f.truth is FlowTruth.TCP_LEGIT
+        ]
+        assert wrong == []
+
+    def test_victim_arrivals_for_tcp(self, report):
+        tcp_fates = report.of_truth(FlowTruth.TCP_LEGIT)
+        assert any(f.victim_arrivals > 0 for f in tcp_fates)
+
+    def test_verdict_counts_sum(self, report):
+        counts = report.verdict_counts()
+        assert sum(counts.values()) == len(report.fates)
+
+    def test_rows_export(self, report):
+        rows = report.to_rows()
+        assert rows[0][0] == "flow_hash"
+        assert len(rows) == len(report.fates) + 1
+        assert all(len(row) == len(rows[0]) for row in rows)

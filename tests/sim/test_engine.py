@@ -1,0 +1,145 @@
+"""Tests for repro.sim.engine."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_now_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_priority_breaks_ties(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=1)
+        sim.schedule(1.0, order.append, "early", priority=-1)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_non_callable_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.schedule(1.0, "not callable")  # type: ignore[arg-type]
+
+    def test_handler_args_passed(self, sim):
+        got = []
+        sim.schedule(0.1, lambda a, b: got.append((a, b)), 1, "two")
+        sim.run()
+        assert got == [(1, "two")]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        ran = []
+        sim.schedule(1.0, ran.append, 1)
+        sim.schedule(5.0, ran.append, 2)
+        sim.run(until=2.0)
+        assert ran == [1]
+        assert sim.now == 2.0
+
+    def test_until_advances_clock_even_when_queue_drains(self, sim):
+        sim.schedule(0.5, lambda: None)
+        assert sim.run(until=3.0) == 3.0
+
+    def test_pending_events_survive_partial_run(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=1.0)
+        assert sim.pending() == 1
+        sim.run(until=10.0)
+        assert sim.pending() == 0
+
+    def test_stop_halts_immediately(self, sim):
+        ran = []
+        sim.schedule(1.0, lambda: (ran.append(1), sim.stop()))
+        sim.schedule(2.0, ran.append, 2)
+        sim.run()
+        assert ran == [1]
+
+    def test_max_events(self, sim):
+        ran = []
+        for i in range(5):
+            sim.schedule(i + 1.0, ran.append, i)
+        sim.run(max_events=3)
+        assert ran == [0, 1, 2]
+
+    def test_events_executed_counter(self, sim):
+        for i in range(4):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_handler_scheduling_followups(self, sim):
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if len(times) < 3:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        ran = []
+        ev = sim.schedule(1.0, ran.append, "no")
+        ev.cancel()
+        sim.run()
+        assert ran == []
+
+    def test_peek_time_skips_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self, sim):
+        assert sim.peek_time() == math.inf
+
+    def test_pending_excludes_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.pending() == 1

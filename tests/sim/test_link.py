@@ -1,0 +1,142 @@
+"""Tests for repro.sim.link."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import SimplexLink
+from repro.sim.node import Host, Router
+from repro.sim.packet import FlowKey, Packet
+from repro.sim.queues import DropTailQueue
+
+
+class _Capture:
+    """A node stand-in that records deliveries."""
+
+    def __init__(self, sim, name="cap"):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, via=None):
+        self.received.append((self.sim.now, packet))
+
+    def attach_link(self, link):
+        pass
+
+
+def make_link(sim, bandwidth=8e6, delay=0.01, capacity=4):
+    src = _Capture(sim, "src")
+    dst = _Capture(sim, "dst")
+    link = SimplexLink(sim, src, dst, bandwidth, delay, DropTailQueue(capacity))
+    return link, dst
+
+
+def pkt(size=1000, seq=0):
+    return Packet(flow=FlowKey(1, 2, 3, 4), size=size, seq=seq)
+
+
+class TestTransmission:
+    def test_delivery_after_tx_plus_prop_delay(self, sim):
+        link, dst = make_link(sim, bandwidth=8e6, delay=0.01)
+        link.send(pkt(size=1000))  # tx = 1ms, prop = 10ms
+        sim.run()
+        t, _ = dst.received[0]
+        assert t == pytest.approx(0.011)
+
+    def test_serialization_spaces_packets(self, sim):
+        link, dst = make_link(sim, bandwidth=8e6, delay=0.0)
+        link.send(pkt(seq=0))
+        link.send(pkt(seq=1))
+        sim.run()
+        t0, t1 = dst.received[0][0], dst.received[1][0]
+        assert t1 - t0 == pytest.approx(0.001)  # one tx time apart
+
+    def test_queue_overflow_drops(self, sim):
+        link, dst = make_link(sim, capacity=2)
+        # One in flight + 2 queued fit; more are dropped.
+        results = [link.send(pkt(seq=i)) for i in range(5)]
+        sim.run()
+        assert results.count(False) == 2
+        assert len(dst.received) == 3
+
+    def test_counters(self, sim):
+        link, _ = make_link(sim)
+        link.send(pkt())
+        link.send(pkt())
+        sim.run()
+        assert link.packets_sent == 2
+        assert link.bytes_sent == 2000
+        assert link.packets_offered == 2
+
+    def test_hop_count_incremented(self, sim):
+        link, dst = make_link(sim)
+        p = pkt()
+        link.send(p)
+        sim.run()
+        assert dst.received[0][1].hop_count == 1
+
+    def test_utilization(self, sim):
+        link, _ = make_link(sim, bandwidth=8e6)
+        link.send(pkt(size=1000))
+        sim.run()
+        assert link.utilization(1.0) == pytest.approx(0.001)
+        assert link.utilization(0.0) == 0.0
+
+    def test_invalid_parameters(self, sim):
+        src, dst = _Capture(sim), _Capture(sim)
+        with pytest.raises(ValueError):
+            SimplexLink(sim, src, dst, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            SimplexLink(sim, src, dst, delay=-1)
+
+
+class _CountingHook:
+    def __init__(self, verdict=True):
+        self.seen = 0
+        self.verdict = verdict
+
+    def on_packet(self, packet, link, now):
+        self.seen += 1
+        return self.verdict
+
+
+class TestHeadHooks:
+    def test_hook_sees_every_offer(self, sim):
+        link, _ = make_link(sim)
+        hook = _CountingHook()
+        link.add_head_hook(hook)
+        for i in range(3):
+            link.send(pkt(seq=i))
+        assert hook.seen == 3
+
+    def test_consuming_hook_drops(self, sim):
+        link, dst = make_link(sim)
+        link.add_head_hook(_CountingHook(verdict=False))
+        assert not link.send(pkt())
+        sim.run()
+        assert dst.received == []
+        assert link.hook_drops == 1
+
+    def test_hooks_run_in_order_and_short_circuit(self, sim):
+        link, _ = make_link(sim)
+        first = _CountingHook(verdict=False)
+        second = _CountingHook()
+        link.add_head_hook(first)
+        link.add_head_hook(second)
+        link.send(pkt())
+        assert first.seen == 1
+        assert second.seen == 0
+
+    def test_remove_hook(self, sim):
+        link, _ = make_link(sim)
+        hook = _CountingHook(verdict=False)
+        link.add_head_hook(hook)
+        link.remove_head_hook(hook)
+        assert link.send(pkt())
+        assert hook.seen == 0
+
+    def test_head_hooks_property(self, sim):
+        link, _ = make_link(sim)
+        hook = _CountingHook()
+        link.add_head_hook(hook)
+        assert link.head_hooks == (hook,)

@@ -1,0 +1,91 @@
+"""Tests for repro.sim.monitor."""
+
+import pytest
+
+from repro.counting.loglog import LogLogLinkCounter
+from repro.counting.setunion import TrafficMatrixEstimator
+from repro.sim.monitor import TrafficMonitor
+
+
+def _estimator_with_counters():
+    est = TrafficMatrixEstimator()
+    ingress = LogLogLinkCounter("in0", k=8)
+    egress = LogLogLinkCounter("out0", k=8)
+    est.register_ingress(ingress)
+    est.register_egress(egress)
+    return est, ingress, egress
+
+
+class TestTrafficMonitor:
+    def test_periodic_snapshots(self, sim):
+        est, _, _ = _estimator_with_counters()
+        monitor = TrafficMonitor(sim, est, period=0.5)
+        monitor.start()
+        sim.run(until=2.1)
+        assert len(monitor.snapshots) == 4
+        assert [round(s.time, 1) for s in monitor.snapshots] == [0.5, 1.0, 1.5, 2.0]
+
+    def test_snapshot_contains_totals(self, sim):
+        est, ingress, egress = _estimator_with_counters()
+        for uid in range(100):
+            ingress.sketch.add(uid)
+            egress.sketch.add(uid)
+        monitor = TrafficMonitor(sim, est, period=1.0)
+        monitor.start()
+        sim.run(until=1.0)
+        snap = monitor.latest
+        assert snap.ingress_totals["in0"] == pytest.approx(100, rel=0.2)
+        assert snap.egress_totals["out0"] == pytest.approx(100, rel=0.2)
+
+    def test_reset_each_epoch(self, sim):
+        est, ingress, _ = _estimator_with_counters()
+        for uid in range(50):
+            ingress.sketch.add(uid)
+        monitor = TrafficMonitor(sim, est, period=1.0, reset_each_epoch=True)
+        monitor.start()
+        sim.run(until=2.0)
+        # Second epoch saw no traffic: estimate near zero.
+        assert monitor.snapshots[1].ingress_totals["in0"] < 5
+
+    def test_no_reset_accumulates(self, sim):
+        est, ingress, _ = _estimator_with_counters()
+        for uid in range(50):
+            ingress.sketch.add(uid)
+        monitor = TrafficMonitor(sim, est, period=1.0, reset_each_epoch=False)
+        monitor.start()
+        sim.run(until=2.0)
+        assert monitor.snapshots[1].ingress_totals["in0"] == pytest.approx(50, rel=0.3)
+
+    def test_callback_invoked(self, sim):
+        est, _, _ = _estimator_with_counters()
+        seen = []
+        monitor = TrafficMonitor(sim, est, period=0.5, on_snapshot=seen.append)
+        monitor.start()
+        sim.run(until=1.0)
+        assert len(seen) == 2
+
+    def test_double_start_rejected(self, sim):
+        est, _, _ = _estimator_with_counters()
+        monitor = TrafficMonitor(sim, est, period=0.5)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+
+    def test_bad_period_rejected(self, sim):
+        est, _, _ = _estimator_with_counters()
+        with pytest.raises(ValueError):
+            TrafficMonitor(sim, est, period=0.0)
+
+    def test_latest_none_before_any(self, sim):
+        est, _, _ = _estimator_with_counters()
+        assert TrafficMonitor(sim, est).latest is None
+
+    def test_matrix_shape(self, sim):
+        est, _, _ = _estimator_with_counters()
+        monitor = TrafficMonitor(sim, est, period=1.0)
+        monitor.start()
+        sim.run(until=1.0)
+        snap = monitor.latest
+        assert snap.matrix.shape == (1, 1)
+        assert snap.sources == ["in0"]
+        assert snap.destinations == ["out0"]

@@ -1,0 +1,134 @@
+"""Tests for repro.sim.node."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import SimplexLink
+from repro.sim.node import Host, Router
+from repro.sim.packet import FlowKey, Packet, PacketType
+from repro.sim.routing import RoutingTable
+from repro.sim.address import Subnet
+
+
+class _Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet, now):
+        self.packets.append(packet)
+
+
+class TestHost:
+    def test_port_dispatch(self, sim):
+        host = Host(sim, "h", 0x0A000001)
+        agent = _Recorder()
+        host.bind_port(80, agent)
+        host.receive(Packet(flow=FlowKey(1, 0x0A000001, 9, 80)))
+        assert len(agent.packets) == 1
+
+    def test_default_handler_catches_unbound(self, sim):
+        host = Host(sim, "h", 1)
+        fallback = _Recorder()
+        host.set_default_handler(fallback)
+        host.receive(Packet(flow=FlowKey(1, 1, 9, 4242)))
+        assert len(fallback.packets) == 1
+
+    def test_unhandled_counted(self, sim):
+        host = Host(sim, "h", 1)
+        host.receive(Packet(flow=FlowKey(1, 1, 9, 4242)))
+        assert host.unhandled_packets == 1
+
+    def test_double_bind_rejected(self, sim):
+        host = Host(sim, "h", 1)
+        host.bind_port(80, _Recorder())
+        with pytest.raises(ValueError):
+            host.bind_port(80, _Recorder())
+
+    def test_unbind(self, sim):
+        host = Host(sim, "h", 1)
+        host.bind_port(80, _Recorder())
+        host.unbind_port(80)
+        host.receive(Packet(flow=FlowKey(1, 1, 9, 80)))
+        assert host.unhandled_packets == 1
+
+    def test_send_requires_gateway(self, sim):
+        host = Host(sim, "h", 1)
+        with pytest.raises(RuntimeError):
+            host.send(Packet(flow=FlowKey(1, 2, 3, 4)))
+
+    def test_send_uses_gateway_link(self, sim):
+        host = Host(sim, "h", 1)
+        router = Router(sim, "r")
+        link = SimplexLink(sim, host, router)
+        host.attach_link(link)
+        host.gateway = router
+        assert host.send(Packet(flow=FlowKey(1, 2, 3, 4)))
+        assert link.packets_offered == 1
+
+    def test_attach_foreign_link_rejected(self, sim):
+        host = Host(sim, "h", 1)
+        other = Host(sim, "o", 2)
+        router = Router(sim, "r")
+        link = SimplexLink(sim, other, router)
+        with pytest.raises(ValueError):
+            host.attach_link(link)
+
+
+class TestRouter:
+    def _two_routers(self, sim):
+        a, b = Router(sim, "a"), Router(sim, "b")
+        link = SimplexLink(sim, a, b)
+        a.attach_link(link)
+        return a, b, link
+
+    def test_forwards_via_routing_table(self, sim):
+        a, b, link = self._two_routers(sim)
+        table = RoutingTable()
+        table.add_route(Subnet(0x0A000000, 24), "b")
+        a.routing_table = table
+        a.receive(Packet(flow=FlowKey(1, 0x0A000005, 3, 4)))
+        assert a.packets_forwarded == 1
+        assert link.packets_offered == 1
+
+    def test_drops_without_route(self, sim):
+        a, _, _ = self._two_routers(sim)
+        a.routing_table = RoutingTable()
+        a.receive(Packet(flow=FlowKey(1, 0x0B000005, 3, 4)))
+        assert a.packets_dropped_no_route == 1
+
+    def test_drops_without_table(self, sim):
+        a = Router(sim, "a")
+        a.receive(Packet(flow=FlowKey(1, 2, 3, 4)))
+        assert a.packets_dropped_no_route == 1
+
+    def test_drops_when_next_hop_link_missing(self, sim):
+        a = Router(sim, "a")
+        table = RoutingTable()
+        table.add_route(Subnet(0x0A000000, 24), "ghost")
+        a.routing_table = table
+        a.receive(Packet(flow=FlowKey(1, 0x0A000005, 3, 4)))
+        assert a.packets_dropped_no_route == 1
+
+    def test_local_delivery_bypasses_forwarding(self, sim):
+        a, _, _ = self._two_routers(sim)
+        agent = _Recorder()
+        a.add_local_delivery(lambda ip: ip == 42, agent)
+        a.receive(Packet(flow=FlowKey(1, 42, 3, 4)))
+        assert len(agent.packets) == 1
+        assert a.packets_delivered == 1
+
+    def test_control_handler(self, sim):
+        a = Router(sim, "a", address=777)
+        handler = _Recorder()
+        a.add_control_handler(handler)
+        a.receive(Packet(flow=FlowKey(1, 777, 0, 0), ptype=PacketType.CONTROL))
+        assert len(handler.packets) == 1
+
+    def test_control_to_other_address_forwarded(self, sim):
+        a = Router(sim, "a", address=777)
+        handler = _Recorder()
+        a.add_control_handler(handler)
+        a.routing_table = RoutingTable()
+        a.receive(Packet(flow=FlowKey(1, 888, 0, 0), ptype=PacketType.CONTROL))
+        assert handler.packets == []
+        assert a.packets_dropped_no_route == 1

@@ -1,0 +1,85 @@
+"""Tests for repro.sim.packet."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.packet import FlowKey, Packet, PacketType, reset_packet_ids
+
+ports = st.integers(min_value=0, max_value=0xFFFF)
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFlowKey:
+    def test_hashed_is_stable(self):
+        k = FlowKey(1, 2, 3, 4)
+        assert k.hashed() == FlowKey(1, 2, 3, 4).hashed()
+
+    def test_different_tuples_differ(self):
+        assert FlowKey(1, 2, 3, 4).hashed() != FlowKey(1, 2, 4, 3).hashed()
+
+    def test_reversed_swaps_endpoints(self):
+        k = FlowKey(1, 2, 3, 4)
+        r = k.reversed()
+        assert (r.src_ip, r.dst_ip, r.src_port, r.dst_port) == (2, 1, 4, 3)
+
+    def test_double_reverse_is_identity(self):
+        k = FlowKey(9, 8, 7, 6)
+        assert k.reversed().reversed() == k
+
+    def test_port_range_enforced(self):
+        with pytest.raises(ValueError):
+            FlowKey(1, 2, 70000, 80)
+        with pytest.raises(ValueError):
+            FlowKey(1, 2, 80, -1)
+
+    @given(ips, ips, ports, ports)
+    def test_hash_in_64_bit_range(self, a, b, c, d):
+        assert 0 <= FlowKey(a, b, c, d).hashed() < (1 << 64)
+
+    def test_frozen(self):
+        k = FlowKey(1, 2, 3, 4)
+        with pytest.raises(AttributeError):
+            k.src_ip = 9  # type: ignore[misc]
+
+
+class TestPacket:
+    def test_uids_unique_and_increasing(self):
+        k = FlowKey(1, 2, 3, 4)
+        a, b = Packet(flow=k), Packet(flow=k)
+        assert b.uid == a.uid + 1
+
+    def test_reset_packet_ids(self):
+        k = FlowKey(1, 2, 3, 4)
+        Packet(flow=k)
+        reset_packet_ids()
+        assert Packet(flow=k).uid == 1
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Packet(flow=FlowKey(1, 2, 3, 4), size=0)
+
+    def test_flow_hash_matches_key(self):
+        k = FlowKey(5, 6, 7, 8)
+        assert Packet(flow=k).flow_hash == k.hashed()
+
+    def test_src_dst_accessors(self):
+        p = Packet(flow=FlowKey(5, 6, 7, 8))
+        assert p.src_ip == 5
+        assert p.dst_ip == 6
+
+    def test_default_type_is_data(self):
+        assert Packet(flow=FlowKey(1, 2, 3, 4)).ptype is PacketType.DATA
+
+    def test_make_ack_reverses_flow_and_echoes_timestamp(self):
+        p = Packet(flow=FlowKey(1, 2, 3, 4), seq=7, ts_val=1.25)
+        ack = p.make_ack(ack_seq=8, now=1.5)
+        assert ack.ptype is PacketType.ACK
+        assert ack.flow == p.flow.reversed()
+        assert ack.ack == 8
+        assert ack.ts_ecr == 1.25
+        assert ack.ts_val == 1.5
+        assert ack.size == 40
+
+    def test_attack_flag_defaults_false(self):
+        assert not Packet(flow=FlowKey(1, 2, 3, 4)).is_attack

@@ -1,0 +1,129 @@
+"""Property-based tests on the simulator substrate."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import FlowKey, Packet
+from repro.sim.queues import DropTailQueue, DRRQueue
+from repro.sim.topology import build_star_domain, build_transit_stub_domain
+
+
+class TestEngineOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=60))
+    @settings(max_examples=50)
+    def test_execution_order_is_sorted(self, delays):
+        """Events always run in non-decreasing time order, regardless of
+        the order they were scheduled in."""
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=10),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_cancelled_events_never_fire(self, entries):
+        sim = Simulator()
+        fired = []
+        events = []
+        for delay, cancel in entries:
+            ev = sim.schedule(delay, lambda: fired.append(1))
+            if cancel:
+                ev.cancel()
+        expected = sum(1 for _, cancel in entries if not cancel)
+        sim.run()
+        assert len(fired) == expected
+
+
+class TestQueueConservationProperty:
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                    max_size=80),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30)
+    def test_droptail_conserves_packets(self, flows, capacity):
+        """accepted == dequeued + still-queued; drops + accepted == offers."""
+        q = DropTailQueue(capacity=capacity)
+        accepted = 0
+        for i, flow in enumerate(flows):
+            if q.enqueue(Packet(flow=FlowKey(flow, 2, 3, 4), seq=i), 0.0):
+                accepted += 1
+        drained = 0
+        while q.dequeue() is not None:
+            drained += 1
+        assert accepted == drained
+        assert accepted + q.drops == len(flows)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                    max_size=80),
+           st.integers(min_value=2, max_value=20))
+    @settings(max_examples=30)
+    def test_drr_conserves_packets(self, flows, capacity):
+        q = DRRQueue(capacity=capacity)
+        offered = len(flows)
+        for i, flow in enumerate(flows):
+            q.enqueue(Packet(flow=FlowKey(flow, 2, 3, 4), seq=i), 0.0)
+        drained = 0
+        while q.dequeue() is not None:
+            drained += 1
+        assert drained + q.drops == offered
+        assert len(q) == 0
+        assert q.active_flows == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=6,
+                    max_size=60))
+    @settings(max_examples=30)
+    def test_drr_per_flow_fifo(self, flows):
+        """Within one flow, DRR never reorders packets."""
+        q = DRRQueue(capacity=1000)
+        for i, flow in enumerate(flows):
+            q.enqueue(Packet(flow=FlowKey(flow, 2, 3, 4), seq=i), 0.0)
+        last_seq: dict[int, int] = {}
+        while (p := q.dequeue()) is not None:
+            flow = p.flow.src_ip
+            if flow in last_seq:
+                assert p.seq > last_seq[flow]
+            last_seq[flow] = p.seq
+
+
+class TestTopologyProperties:
+    @pytest.mark.parametrize("n", [5, 11, 23, 40])
+    def test_transit_stub_every_ingress_routes_to_victim(self, n):
+        if n < 3:
+            return
+        topo = build_transit_stub_domain(n_routers=max(5, n))
+        victim_subnet = topo.subnet_of_router[topo.victim_router_name]
+        for name in topo.ingress_names:
+            table = topo.routers[name].routing_table
+            assert table.next_hop(victim_subnet.base) is not None, name
+
+    @pytest.mark.parametrize("n", [5, 11, 23])
+    def test_transit_stub_reverse_paths_exist(self, n):
+        """Victim-side ACKs must be routable back to every ingress subnet."""
+        topo = build_transit_stub_domain(n_routers=max(5, n))
+        victim_table = topo.victim_router.routing_table
+        for name in topo.ingress_names:
+            subnet = topo.subnet_of_router[name]
+            assert victim_table.next_hop(subnet.base) is not None, name
+
+    def test_star_subnets_disjoint(self):
+        topo = build_star_domain(n_ingress=6)
+        subnets = list(topo.subnet_of_router.values())
+        for i, a in enumerate(subnets):
+            for b in subnets[i + 1:]:
+                assert not a.contains(b.base)
+                assert not b.contains(a.base)
+
+    @pytest.mark.parametrize("n", [6, 14, 30])
+    def test_uplinks_distinct_per_ingress(self, n):
+        topo = build_transit_stub_domain(n_routers=n)
+        uplinks = {id(topo.ingress_uplink(name)) for name in topo.ingress_names}
+        assert len(uplinks) == len(topo.ingress_names)

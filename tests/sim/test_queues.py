@@ -1,0 +1,99 @@
+"""Tests for repro.sim.queues."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import FlowKey, Packet
+from repro.sim.queues import DropTailQueue, REDQueue
+
+
+def pkt(seq=0):
+    return Packet(flow=FlowKey(1, 2, 3, 4), seq=seq)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity=4)
+        for i in range(3):
+            assert q.enqueue(pkt(i), now=0.0)
+        assert [q.dequeue().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(capacity=2)
+        assert q.enqueue(pkt(), 0.0)
+        assert q.enqueue(pkt(), 0.0)
+        assert not q.enqueue(pkt(), 0.0)
+        assert q.drops == 1
+        assert q.enqueued == 2
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue() is None
+
+    def test_len(self):
+        q = DropTailQueue()
+        q.enqueue(pkt(), 0.0)
+        assert len(q) == 1
+        q.dequeue()
+        assert len(q) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestRED:
+    def test_under_min_threshold_never_drops(self):
+        q = REDQueue(capacity=64, min_thresh=10, max_thresh=30,
+                     rng=np.random.default_rng(0))
+        for i in range(5):
+            assert q.enqueue(pkt(i), 0.0)
+        assert q.drops == 0
+
+    def test_early_drops_between_thresholds(self):
+        q = REDQueue(capacity=64, min_thresh=2, max_thresh=10, max_prob=0.5,
+                     weight=1.0, rng=np.random.default_rng(1))
+        outcomes = [q.enqueue(pkt(i), 0.0) for i in range(40)]
+        assert q.early_drops > 0
+        assert any(outcomes)  # not everything dropped
+
+    def test_above_max_threshold_drops_all(self):
+        q = REDQueue(capacity=64, min_thresh=2, max_thresh=4, weight=1.0,
+                     rng=np.random.default_rng(2))
+        for i in range(20):
+            q.enqueue(pkt(i), 0.0)
+        # Average occupancy is above max_thresh by now: forced drop.
+        before = q.drops
+        assert not q.enqueue(pkt(99), 0.0)
+        assert q.drops == before + 1
+
+    def test_hard_capacity_enforced(self):
+        q = REDQueue(capacity=4, min_thresh=1, max_thresh=4, weight=0.001,
+                     rng=np.random.default_rng(3))
+        accepted = sum(q.enqueue(pkt(i), 0.0) for i in range(50))
+        assert accepted <= 4 + q.early_drops + 50  # sanity
+        assert len(q) <= 4
+
+    def test_fifo_order_preserved(self):
+        q = REDQueue(capacity=16, min_thresh=8, max_thresh=15,
+                     rng=np.random.default_rng(4))
+        for i in range(4):
+            q.enqueue(pkt(i), 0.0)
+        assert [q.dequeue().seq for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            REDQueue(capacity=0, rng=rng)
+        with pytest.raises(ValueError):
+            REDQueue(min_thresh=10, max_thresh=5, rng=rng)
+        with pytest.raises(ValueError):
+            REDQueue(max_prob=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            REDQueue(weight=1.5, rng=rng)
+
+    def test_average_occupancy_tracks(self):
+        q = REDQueue(capacity=64, min_thresh=20, max_thresh=40, weight=0.5,
+                     rng=np.random.default_rng(5))
+        for i in range(10):
+            q.enqueue(pkt(i), 0.0)
+        assert q.average_occupancy > 0.0

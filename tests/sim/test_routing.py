@@ -1,0 +1,94 @@
+"""Tests for repro.sim.routing."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.address import Subnet
+from repro.sim.engine import Simulator
+from repro.sim.link import SimplexLink
+from repro.sim.node import Router
+from repro.sim.routing import RoutingTable, build_static_routes
+
+
+class TestRoutingTable:
+    def test_longest_prefix_match(self):
+        t = RoutingTable()
+        t.add_route(Subnet(0x0A000000, 8), "coarse")
+        t.add_route(Subnet(0x0A010000, 16), "fine")
+        assert t.next_hop(0x0A010203) == "fine"
+        assert t.next_hop(0x0A990203) == "coarse"
+
+    def test_default_route_fallback(self):
+        t = RoutingTable()
+        t.set_default("gw")
+        assert t.next_hop(0x01020304) == "gw"
+
+    def test_no_match_returns_none(self):
+        assert RoutingTable().next_hop(1) is None
+
+    def test_routes_sorted_by_prefix(self):
+        t = RoutingTable()
+        t.add_route(Subnet(0x0A000000, 8), "a")
+        t.add_route(Subnet(0x0A000000, 24), "b")
+        assert t.routes()[0][0].prefix_len == 24
+
+    def test_len(self):
+        t = RoutingTable()
+        t.add_route(Subnet(0x0A000000, 24), "x")
+        assert len(t) == 1
+
+
+def _build_line(sim):
+    """a - b - c with one subnet at each end."""
+    routers = {name: Router(sim, name) for name in "abc"}
+    graph = nx.Graph()
+    graph.add_edge("a", "b", delay=1.0)
+    graph.add_edge("b", "c", delay=1.0)
+    for u, v in (("a", "b"), ("b", "a"), ("b", "c"), ("c", "b")):
+        link = SimplexLink(sim, routers[u], routers[v])
+        routers[u].attach_link(link)
+    subnets = {"a": Subnet(0x0A000000, 24), "c": Subnet(0x0A010000, 24)}
+    return routers, graph, subnets
+
+
+class TestBuildStaticRoutes:
+    def test_installs_first_hop(self, sim):
+        routers, graph, subnets = _build_line(sim)
+        build_static_routes(graph, routers, subnets.items())
+        assert routers["a"].routing_table.next_hop(0x0A010005) == "b"
+        assert routers["b"].routing_table.next_hop(0x0A010005) == "c"
+        assert routers["c"].routing_table.next_hop(0x0A000005) == "b"
+
+    def test_attachment_router_has_no_self_route(self, sim):
+        routers, graph, subnets = _build_line(sim)
+        build_static_routes(graph, routers, subnets.items())
+        # Router a owns subnet a: no route needed (local delivery).
+        assert routers["a"].routing_table.next_hop(0x0A000005) is None
+
+    def test_every_router_gets_a_table(self, sim):
+        routers, graph, subnets = _build_line(sim)
+        build_static_routes(graph, routers, subnets.items())
+        assert all(r.routing_table is not None for r in routers.values())
+
+    def test_unknown_attachment_rejected(self, sim):
+        routers, graph, _ = _build_line(sim)
+        with pytest.raises(ValueError):
+            build_static_routes(
+                graph, routers, [("ghost", Subnet(0x0A020000, 24))]
+            )
+
+    def test_shortest_path_chosen(self, sim):
+        # Square with a shortcut: a-b-d (2 hops) vs a-c-d with c slow.
+        routers = {name: Router(sim, name) for name in "abcd"}
+        graph = nx.Graph()
+        graph.add_edge("a", "b", delay=1.0)
+        graph.add_edge("b", "d", delay=1.0)
+        graph.add_edge("a", "c", delay=5.0)
+        graph.add_edge("c", "d", delay=5.0)
+        for u, v in graph.edges:
+            for s, t in ((u, v), (v, u)):
+                link = SimplexLink(sim, routers[s], routers[t])
+                routers[s].attach_link(link)
+        subnet = Subnet(0x0A000000, 24)
+        build_static_routes(graph, routers, [("d", subnet)])
+        assert routers["a"].routing_table.next_hop(subnet.base) == "b"

@@ -1,0 +1,66 @@
+"""Tests for repro.sim.trace."""
+
+from repro.sim.trace import EventTrace, TraceRecord
+
+
+class TestEventTrace:
+    def test_record_and_select(self):
+        trace = EventTrace()
+        trace.record(1.0, "drop.probe", flow=42)
+        trace.record(2.0, "drop.pdt", flow=42)
+        trace.record(3.0, "probe.sent", flow=42)
+        assert trace.count("drop.probe") == 1
+        assert trace.count("drop.") == 2  # prefix match
+        assert len(trace) == 3
+
+    def test_disabled_trace_is_noop(self):
+        trace = EventTrace(enabled=False)
+        trace.record(1.0, "drop.probe")
+        assert len(trace) == 0
+
+    def test_max_records_cap(self):
+        trace = EventTrace(max_records=2)
+        for i in range(5):
+            trace.record(float(i), "x")
+        assert len(trace) == 2
+        assert trace.dropped_records == 3
+
+    def test_between(self):
+        trace = EventTrace()
+        for t in (0.5, 1.5, 2.5):
+            trace.record(t, "x")
+        assert len(trace.between(1.0, 2.0)) == 1
+        # Interval is half-open: [start, end).
+        assert len(trace.between(0.5, 1.5)) == 1
+
+    def test_detail_kept(self):
+        trace = EventTrace()
+        trace.record(1.0, "flow.cut", flow=7, atr="ingress0")
+        record = trace.select("flow.cut")[0]
+        assert record.detail == {"flow": 7, "atr": "ingress0"}
+
+    def test_categories(self):
+        trace = EventTrace()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        assert trace.categories() == {"a", "b"}
+
+    def test_clear(self):
+        trace = EventTrace()
+        trace.record(1.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped_records == 0
+
+    def test_extend_respects_cap(self):
+        trace = EventTrace(max_records=1)
+        records = [TraceRecord(float(i), "x") for i in range(3)]
+        trace.extend(records)
+        assert len(trace) == 1
+        assert trace.dropped_records == 2
+
+    def test_iteration(self):
+        trace = EventTrace()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        assert [r.category for r in trace] == ["a", "b"]

@@ -1,0 +1,92 @@
+"""Tests for the AckingSink delayed-ACK option (RFC 1122)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import SimplexLink
+from repro.sim.node import Host, Router
+from repro.sim.packet import FlowKey, Packet
+from repro.transport.sink import AckingSink
+
+
+def _sink(sim, delayed_ack):
+    host = Host(sim, "victim", 0x0A010001)
+    router = Router(sim, "r")
+    link = SimplexLink(sim, host, router)
+    host.attach_link(link)
+    host.gateway = router
+    sink = AckingSink(sim, host, delayed_ack=delayed_ack)
+    return sink, link
+
+
+def data(flow, seq):
+    return Packet(flow=flow, seq=seq)
+
+
+class TestDelayedAck:
+    def test_single_segment_acked_at_timer(self, sim):
+        sink, link = _sink(sim, delayed_ack=0.04)
+        flow = FlowKey(1, 0x0A010001, 9, 80)
+        sim.schedule(0.0, sink.handle_packet, data(flow, 0), 0.0)
+        sim.run(until=0.03)
+        assert sink.acks_sent == 0  # held
+        sim.run(until=0.05)
+        assert sink.acks_sent == 1  # timer fired
+
+    def test_second_segment_flushes_immediately(self, sim):
+        sink, _ = _sink(sim, delayed_ack=0.2)
+        flow = FlowKey(1, 0x0A010001, 9, 80)
+        sim.schedule(0.0, sink.handle_packet, data(flow, 0), 0.0)
+        sim.schedule(0.01, sink.handle_packet, data(flow, 1), 0.01)
+        sim.run(until=0.02)
+        assert sink.acks_sent == 1  # one cumulative ACK for both
+        assert sink.delayed_acks_coalesced == 1
+
+    def test_out_of_order_acks_immediately(self, sim):
+        sink, _ = _sink(sim, delayed_ack=0.2)
+        flow = FlowKey(1, 0x0A010001, 9, 80)
+        sim.schedule(0.0, sink.handle_packet, data(flow, 0), 0.0)
+        sim.schedule(0.01, sink.handle_packet, data(flow, 2), 0.01)  # gap!
+        sim.run(until=0.02)
+        # Held ACK flushed + dup-ACK for the gap: 2 ACKs, no waiting.
+        assert sink.acks_sent == 2
+        assert sink.dup_acks_sent == 1
+
+    def test_disabled_by_default(self, sim):
+        sink, _ = _sink(sim, delayed_ack=0.0)
+        flow = FlowKey(1, 0x0A010001, 9, 80)
+        sink.handle_packet(data(flow, 0), 0.0)
+        assert sink.acks_sent == 1
+
+    def test_flows_delayed_independently(self, sim):
+        sink, _ = _sink(sim, delayed_ack=0.1)
+        f1 = FlowKey(1, 0x0A010001, 9, 80)
+        f2 = FlowKey(2, 0x0A010001, 9, 80)
+        sim.schedule(0.0, sink.handle_packet, data(f1, 0), 0.0)
+        sim.schedule(0.0, sink.handle_packet, data(f2, 0), 0.0)
+        sim.run(until=0.15)
+        assert sink.acks_sent == 2  # both timers fired separately
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            _sink(sim, delayed_ack=-0.1)
+
+    def test_tcp_transfer_with_delayed_acks(self):
+        """End-to-end: a TCP transfer completes with delayed ACKs on."""
+        from repro.sim.topology import build_dumbbell
+        from repro.transport.tcp import TcpSender
+
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        src = topo.hosts["src0"]
+        victim = topo.hosts["victim"]
+        flow = FlowKey(src.address, victim.address, 5000, 80)
+        sender = TcpSender(topo.sim, src, flow, initial_cwnd=2,
+                           ssthresh=8, max_cwnd=8)
+        src.bind_port(5000, sender)
+        sink = AckingSink(topo.sim, victim, delayed_ack=0.04)
+        victim.bind_port(80, sink)
+        sender.start(at=0.0)
+        topo.sim.run(until=2.0)
+        assert sink.packets_received > 20
+        assert sender.high_ack > 20
+        assert sink.delayed_acks_coalesced > 0

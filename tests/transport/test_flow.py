@@ -1,0 +1,68 @@
+"""Tests for repro.transport.flow (FlowStats and the agent base)."""
+
+import pytest
+
+from repro.sim.packet import FlowKey
+from repro.sim.topology import build_dumbbell
+from repro.transport.flow import FlowAgent, FlowStats
+from repro.transport.udp import CbrSender
+
+
+class TestFlowStats:
+    def test_sending_rate_over_window(self):
+        stats = FlowStats()
+        stats.send_times = [0.1, 0.2, 0.3, 0.9]
+        # Window (0.5, 1.0]: one packet of 1000 B -> 16 kbps.
+        rate = stats.sending_rate_bps(window=0.5, now=1.0, packet_size=1000)
+        assert rate == pytest.approx(16_000)
+
+    def test_sending_rate_empty(self):
+        stats = FlowStats()
+        assert stats.sending_rate_bps(1.0, 5.0, 1000) == 0.0
+
+    def test_sending_rate_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            FlowStats().sending_rate_bps(0.0, 1.0, 1000)
+
+
+class TestFlowAgentBase:
+    def test_emit_updates_counters_and_marks_ground_truth(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        flow = FlowKey(src.address, topo.victim_host.address, 5000, 9)
+        agent = CbrSender(
+            topo.sim, src, flow, rate_bps=80e3, is_attack=True,
+            keep_send_times=True,
+        )
+        agent.start(at=0.0)
+        topo.sim.run(until=0.3)
+        assert agent.stats.packets_sent >= 2
+        assert agent.stats.bytes_sent == agent.stats.packets_sent * 1000
+        assert agent.stats.first_send_time == pytest.approx(0.0)
+        assert agent.stats.last_send_time >= agent.stats.first_send_time
+        assert len(agent.stats.send_times) == agent.stats.packets_sent
+
+    def test_send_times_not_kept_by_default(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        flow = FlowKey(src.address, topo.victim_host.address, 5001, 9)
+        agent = CbrSender(topo.sim, src, flow, rate_bps=80e3)
+        agent.start(at=0.0)
+        topo.sim.run(until=0.3)
+        assert agent.stats.send_times == []
+
+    def test_base_class_abstract_methods(self, sim):
+        topo = build_dumbbell(sim=sim)
+        agent = FlowAgent(
+            sim, topo.hosts["src0"], FlowKey(1, 2, 3, 4)
+        )
+        with pytest.raises(NotImplementedError):
+            agent.start()
+        with pytest.raises(NotImplementedError):
+            agent.handle_packet(None, 0.0)
+
+    def test_packet_size_validated(self, sim):
+        topo = build_dumbbell(sim=sim)
+        with pytest.raises(ValueError):
+            FlowAgent(sim, topo.hosts["src0"], FlowKey(1, 2, 3, 4),
+                      packet_size=0)

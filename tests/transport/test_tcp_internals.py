@@ -1,0 +1,145 @@
+"""Deeper TCP internals: RTO management, Karn's rule, recovery exit."""
+
+import pytest
+
+from repro.sim.packet import FlowKey, Packet, PacketType
+from repro.sim.topology import build_dumbbell
+from repro.transport.sink import AckingSink
+from repro.transport.tcp import TcpSender, _MIN_RTO
+
+
+def wire(topo, **kwargs):
+    src = topo.hosts["src0"]
+    victim = topo.hosts["victim"]
+    flow = FlowKey(src.address, victim.address, 5000, 80)
+    sender = TcpSender(topo.sim, src, flow, **kwargs)
+    src.bind_port(5000, sender)
+    victim.bind_port(80, AckingSink(topo.sim, victim))
+    return sender
+
+
+class _DropAllData:
+    def on_packet(self, packet, link, now):
+        return packet.ptype is not PacketType.DATA
+
+
+class TestRtoManagement:
+    def test_rto_floor(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender = wire(topo, initial_cwnd=2, ssthresh=2, max_cwnd=2)
+        sender.start(at=0.0)
+        topo.sim.run(until=1.0)
+        # Dumbbell RTT ~24 ms: RTO must respect the floor, not collapse.
+        assert sender.rto >= _MIN_RTO
+
+    def test_exponential_backoff_on_repeated_timeouts(self):
+        topo = build_dumbbell()
+        sender = wire(topo, initial_cwnd=2, ssthresh=8)
+        topo.routers["left"].link_to("lasthop").add_head_hook(_DropAllData())
+        sender.start(at=0.0)
+        topo.sim.run(until=3.0)
+        assert sender.stats.timeouts >= 2
+        # Each timeout doubles the RTO: after >=2, rto >= 4x floor.
+        assert sender.rto >= 4 * _MIN_RTO or sender.rto >= 0.8
+
+    def test_cwnd_resets_to_one_on_timeout(self):
+        topo = build_dumbbell()
+        sender = wire(topo, initial_cwnd=4, ssthresh=16)
+        topo.routers["left"].link_to("lasthop").add_head_hook(_DropAllData())
+        sender.start(at=0.0)
+        topo.sim.run(until=1.5)
+        assert sender.cwnd == 1.0
+
+    def test_no_rto_when_nothing_in_flight(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender = wire(topo, total_segments=3)
+        sender.start(at=0.0)
+        topo.sim.run(until=2.0)
+        assert sender.completed_at is not None
+        assert sender._rto_event is None
+        assert sender.stats.timeouts == 0
+
+
+class TestKarnsRule:
+    def test_retransmitted_segments_give_no_rtt_sample(self):
+        topo = build_dumbbell()
+        sender = wire(topo, initial_cwnd=2, ssthresh=4, max_cwnd=4)
+
+        class _DropSeq0Once:
+            def __init__(self):
+                self.dropped = False
+
+            def on_packet(self, packet, link, now):
+                if (packet.ptype is PacketType.DATA and packet.seq == 0
+                        and not self.dropped):
+                    self.dropped = True
+                    return False
+                return True
+
+        topo.routers["left"].link_to("lasthop").add_head_hook(_DropSeq0Once())
+        sender.start(at=0.0)
+        topo.sim.run(until=2.0)
+        # The retransmitted seq 0 must not have polluted SRTT with a
+        # (send-to-ack-of-retransmission) sample spanning the RTO: the
+        # smoothed estimate stays near the true path RTT.
+        assert sender.srtt is not None
+        assert sender.srtt < 0.15
+
+    def test_retransmissions_tracked(self):
+        topo = build_dumbbell()
+        sender = wire(topo, initial_cwnd=8, ssthresh=8, max_cwnd=8)
+        hook_drops = []
+
+        class _DropOne:
+            def on_packet(self, packet, link, now):
+                if (packet.ptype is PacketType.DATA and packet.seq == 15
+                        and not hook_drops):
+                    hook_drops.append(packet.seq)
+                    return False
+                return True
+
+        topo.routers["left"].link_to("lasthop").add_head_hook(_DropOne())
+        sender.start(at=0.0)
+        topo.sim.run(until=3.0)
+        assert hook_drops
+        assert 15 in sender._retransmitted or sender.high_ack > 15
+
+
+class TestFastRecoveryExit:
+    def test_recovery_exits_at_recover_point(self):
+        topo = build_dumbbell()
+        sender = wire(topo, initial_cwnd=8, ssthresh=8, max_cwnd=8)
+
+        class _DropOnce:
+            def __init__(self):
+                self.done = False
+
+            def on_packet(self, packet, link, now):
+                if (packet.ptype is PacketType.DATA and packet.seq == 10
+                        and not self.done):
+                    self.done = True
+                    return False
+                return True
+
+        topo.routers["left"].link_to("lasthop").add_head_hook(_DropOnce())
+        sender.start(at=0.0)
+        topo.sim.run(until=4.0)
+        # Recovery completed: transfer progressed well beyond the hole
+        # and the window deflated back to ssthresh.
+        assert sender.high_ack > 20
+        assert not sender._in_fast_recovery
+        assert sender.cwnd <= sender.max_cwnd
+
+    def test_dup_ack_window_inflation_bounded(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender = wire(topo, initial_cwnd=4, ssthresh=4, max_cwnd=6)
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        frontier = sender.high_ack
+        for _ in range(10):
+            sender.handle_packet(
+                Packet(flow=sender.flow.reversed(),
+                       ptype=PacketType.DUP_ACK, ack=frontier, size=40),
+                topo.sim.now,
+            )
+        assert sender.cwnd <= sender.max_cwnd

@@ -1,0 +1,153 @@
+"""Tests for repro.transport.udp."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import FlowKey, Packet, PacketType
+from repro.sim.topology import build_dumbbell
+from repro.transport.sink import CountingSink
+from repro.transport.udp import CbrSender, OnOffSender
+
+
+def wire_cbr(topo, rate_bps=100e3, port=6000, cls=CbrSender, **kwargs):
+    src = topo.hosts["src0"]
+    victim = topo.hosts["victim"]
+    flow = FlowKey(src.address, victim.address, port, 9)
+    sender = cls(topo.sim, src, flow, rate_bps=rate_bps, **kwargs)
+    sink = CountingSink(topo.sim)
+    victim.bind_port(9, sink)
+    return sender, sink
+
+
+class TestCbrSender:
+    def test_rate_matches_configuration(self):
+        topo = build_dumbbell(bottleneck_bps=10e6)
+        sender, sink = wire_cbr(topo, rate_bps=80e3)  # 10 pkt/s at 1000B
+        sender.start(at=0.0)
+        topo.sim.run(until=2.0)
+        assert sender.stats.packets_sent == pytest.approx(20, abs=2)
+        assert sink.packets_received == pytest.approx(20, abs=2)
+
+    def test_interval_property(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(topo, rate_bps=8e3, packet_size=1000)
+        assert sender.interval == pytest.approx(1.0)
+
+    def test_ignores_feedback(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(topo, rate_bps=80e3)
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        sent_before = sender.stats.packets_sent
+        ack = Packet(flow=sender.flow.reversed(), ptype=PacketType.DUP_ACK, ack=0)
+        for _ in range(10):
+            sender.handle_packet(ack, topo.sim.now)
+        topo.sim.run(until=1.0)
+        # Rate unchanged despite the dup-ACK barrage.
+        assert sender.stats.packets_sent - sent_before == pytest.approx(5, abs=2)
+
+    def test_jitter_requires_rng(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        flow = FlowKey(src.address, 1, 1, 9)
+        with pytest.raises(ValueError):
+            CbrSender(topo.sim, src, flow, jitter=0.1)
+
+    def test_jitter_varies_gaps(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(
+            topo, rate_bps=800e3, jitter=0.3,
+            rng=np.random.default_rng(1), keep_send_times=True,
+        )
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        times = sender.stats.send_times
+        gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1
+
+    def test_spoof_rewrites_source(self):
+        topo = build_dumbbell()
+
+        def spoof(packet):
+            packet.flow = FlowKey(
+                0xC0000001, packet.flow.dst_ip,
+                packet.flow.src_port, packet.flow.dst_port,
+            )
+            return packet
+
+        sender, sink = wire_cbr(topo, rate_bps=80e3, spoof=spoof)
+        received = []
+        sink._on_packet = lambda p, now: received.append(p)
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        assert received
+        assert all(p.src_ip == 0xC0000001 for p in received)
+
+    def test_is_attack_flag_propagates(self):
+        topo = build_dumbbell()
+        sender, sink = wire_cbr(topo, rate_bps=80e3, is_attack=True)
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        assert sink.attack_packets_received == sink.packets_received > 0
+
+    def test_stop(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(topo, rate_bps=80e3)
+        sender.start(at=0.0)
+        topo.sim.run(until=0.5)
+        sender.stop()
+        sent = sender.stats.packets_sent
+        topo.sim.run(until=1.5)
+        assert sender.stats.packets_sent == sent
+
+    def test_rejects_bad_rate(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        with pytest.raises(ValueError):
+            CbrSender(topo.sim, src, FlowKey(1, 2, 3, 4), rate_bps=0)
+
+
+class TestOnOffSender:
+    def test_alternates_bursts_and_silence(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(
+            topo, rate_bps=400e3, cls=OnOffSender,
+            mean_on=0.2, mean_off=0.2,
+            rng=np.random.default_rng(7), keep_send_times=True,
+        )
+        sender.start(at=0.0)
+        topo.sim.run(until=4.0)
+        times = sender.stats.send_times
+        assert len(times) > 5
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        burst_gap = sender.interval
+        assert any(g > 3 * burst_gap for g in gaps)  # silence exists
+        assert any(abs(g - burst_gap) < 1e-9 for g in gaps)  # bursts exist
+
+    def test_requires_rng(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        with pytest.raises(ValueError):
+            OnOffSender(topo.sim, src, FlowKey(1, 2, 3, 4))
+
+    def test_rejects_bad_on_time(self):
+        topo = build_dumbbell()
+        src = topo.hosts["src0"]
+        with pytest.raises(ValueError):
+            OnOffSender(
+                topo.sim, src, FlowKey(1, 2, 3, 4),
+                mean_on=0.0, rng=np.random.default_rng(0),
+            )
+
+    def test_stop_mid_burst(self):
+        topo = build_dumbbell()
+        sender, _ = wire_cbr(
+            topo, rate_bps=400e3, cls=OnOffSender,
+            mean_on=10.0, mean_off=0.1, rng=np.random.default_rng(3),
+        )
+        sender.start(at=0.0)
+        topo.sim.run(until=0.2)
+        sender.stop()
+        sent = sender.stats.packets_sent
+        topo.sim.run(until=1.0)
+        assert sender.stats.packets_sent == sent

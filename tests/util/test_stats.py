@@ -1,0 +1,154 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Ewma, RunningStats, WindowedRate
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestEwma:
+    def test_first_sample_is_value(self):
+        e = Ewma(0.25)
+        assert e.update(10.0) == 10.0
+
+    def test_none_before_samples(self):
+        assert Ewma().value is None
+
+    def test_alpha_one_tracks_last(self):
+        e = Ewma(1.0)
+        e.update(5)
+        assert e.update(9) == 9.0
+
+    def test_smoothing_moves_toward_sample(self):
+        e = Ewma(0.5)
+        e.update(0)
+        assert e.update(10) == 5.0
+
+    def test_reset(self):
+        e = Ewma()
+        e.update(3)
+        e.reset()
+        assert e.value is None
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            Ewma(alpha)
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_stays_within_sample_range(self, samples):
+        e = Ewma(0.3)
+        for s in samples:
+            e.update(s)
+        assert min(samples) - 1e-6 <= e.value <= max(samples) + 1e-6
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_sample(self):
+        s = RunningStats()
+        s.update(4.0)
+        assert s.mean == 4.0
+        assert s.variance == 0.0
+        assert s.minimum == 4.0
+        assert s.maximum == 4.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        for x in [2, 4, 4, 4, 5, 5, 7, 9]:
+            s.update(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.0)
+
+    def test_merge_equals_combined(self):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        for x in [1.0, 2.0, 3.0]:
+            a.update(x)
+            c.update(x)
+        for x in [10.0, 20.0]:
+            b.update(x)
+            c.update(x)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean)
+        assert merged.variance == pytest.approx(c.variance)
+        assert merged.minimum == c.minimum
+        assert merged.maximum == c.maximum
+
+    def test_merge_with_empty(self):
+        a, b = RunningStats(), RunningStats()
+        a.update(5)
+        merged = a.merge(b)
+        assert merged.count == 1
+        assert merged.mean == 5.0
+
+    def test_merge_two_empties(self):
+        assert RunningStats().merge(RunningStats()).count == 0
+
+    @given(st.lists(floats, min_size=2, max_size=100))
+    def test_matches_naive_computation(self, samples):
+        s = RunningStats()
+        for x in samples:
+            s.update(x)
+        mean = sum(samples) / len(samples)
+        var = sum((x - mean) ** 2 for x in samples) / len(samples)
+        assert s.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+
+
+class TestWindowedRate:
+    def test_rate_counts_recent_events(self):
+        w = WindowedRate(1.0)
+        w.record(0.0)
+        w.record(0.5)
+        assert w.rate(0.5) == pytest.approx(2.0)
+
+    def test_events_expire(self):
+        w = WindowedRate(1.0)
+        w.record(0.0)
+        assert w.rate(1.5) == 0.0
+
+    def test_boundary_is_exclusive(self):
+        w = WindowedRate(1.0)
+        w.record(0.0)
+        # At now=1.0 the event at t=0 is exactly window-old: expired.
+        assert w.rate(1.0) == 0.0
+
+    def test_weighted_events(self):
+        w = WindowedRate(2.0)
+        w.record(0.0, weight=1000.0)
+        assert w.rate(0.1) == pytest.approx(500.0)
+
+    def test_count(self):
+        w = WindowedRate(1.0)
+        for t in (0.0, 0.2, 0.4):
+            w.record(t)
+        assert w.count(0.5) == 3
+        assert w.count(1.3) == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=50))
+    def test_rate_never_negative(self, times):
+        w = WindowedRate(0.5)
+        for t in sorted(times):
+            w.record(t)
+        assert w.rate(max(times)) >= 0.0
+
+    def test_weight_sum_resets_when_empty(self):
+        w = WindowedRate(0.1)
+        w.record(0.0, weight=5.0)
+        w.record(10.0, weight=1.0)
+        assert w.rate(10.0) == pytest.approx(10.0)  # only the new event

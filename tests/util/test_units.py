@@ -1,0 +1,47 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    bits_to_bytes,
+    bytes_to_bits,
+    kbps,
+    mbps,
+    pkts_per_sec,
+    transmission_delay,
+)
+
+
+class TestConversions:
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1000) == 8000
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(8000) == 1000
+
+    def test_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(123.5)) == 123.5
+
+    def test_kbps(self):
+        assert kbps(100) == 100_000
+
+    def test_mbps(self):
+        assert mbps(1.5) == 1_500_000
+
+
+class TestRates:
+    def test_pkts_per_sec(self):
+        # 1 Mbps with 1000-byte packets = 125 packets/s.
+        assert pkts_per_sec(1e6, 1000) == 125.0
+
+    def test_pkts_per_sec_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            pkts_per_sec(1e6, 0)
+
+    def test_transmission_delay(self):
+        # 1000 bytes on 8 Mbps = 1 ms.
+        assert transmission_delay(1000, 8e6) == pytest.approx(0.001)
+
+    def test_transmission_delay_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            transmission_delay(1000, 0)

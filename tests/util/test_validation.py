@@ -1,0 +1,62 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", bad)
+
+    def test_fraction_alias(self):
+        assert check_fraction("f", 0.3) == 0.3
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        assert check_type("n", 5, int) == 5
+
+    def test_accepts_tuple(self):
+        assert check_type("n", "s", (int, str)) == "s"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="n must be int"):
+            check_type("n", "s", int)
+
+    def test_error_names_all_options(self):
+        with pytest.raises(TypeError, match="int | str"):
+            check_type("n", 1.5, (int, str))
