@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Measure the parallel multi-seed speedup and record it as BENCH_*.json.
+
+Runs the same 8-seed batch twice — serially (``jobs=1``) and with one
+worker per CPU — asserts the per-seed summaries are bit-identical, and
+writes ``BENCH_parallel_sweep.json`` at the repo root with both wall
+times, the speedup, and the host's core count.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel_sweep.py [--seeds N] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig, TopologyKind
+from repro.experiments.parallel import default_jobs, run_batch, seed_configs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel_sweep.json"),
+    )
+    args = parser.parse_args()
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    config = ExperimentConfig(
+        total_flows=24, n_routers=12, topology=TopologyKind.TRANSIT_STUB
+    )
+    configs = seed_configs(config, range(101, 101 + args.seeds))
+
+    print(f"serial: {args.seeds} seeds on 1 worker...")
+    serial = run_batch(configs, jobs=1)
+    print(f"  {serial.wall_seconds:.2f}s wall")
+    print(f"parallel: {args.seeds} seeds on {jobs} worker(s)...")
+    parallel = run_batch(configs, jobs=jobs)
+    print(f"  {parallel.wall_seconds:.2f}s wall")
+
+    identical = [r.summary for r in serial.results] == [
+        r.summary for r in parallel.results
+    ]
+    if not identical:
+        raise SystemExit("FATAL: parallel summaries diverged from serial")
+
+    speedup = serial.wall_seconds / max(1e-9, parallel.wall_seconds)
+    record = {
+        "benchmark": "parallel_multi_seed_sweep",
+        "seeds": args.seeds,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "serial_wall_seconds": round(serial.wall_seconds, 3),
+        "parallel_wall_seconds": round(parallel.wall_seconds, 3),
+        "speedup": round(speedup, 3),
+        "per_seed_summaries_identical": identical,
+        "metric_means_percent": {
+            name: round(100 * stats.mean, 3)
+            for name, stats in parallel.stats.items()
+        },
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nspeedup: {speedup:.2f}x  (summaries identical: {identical})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Benchmark: multi-seed batch throughput, serial vs process-parallel.
+
+Not a paper figure — this times the experiment *harness* itself: an
+8-seed confidence batch of the Table-II scenario (shrunk by
+``REPRO_BENCH_SCALE``) run through :func:`repro.experiments.parallel.run_batch`
+with ``REPRO_BENCH_JOBS`` workers.  The per-seed summaries are asserted
+identical to the serial path, so the speedup is free of result drift.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_jobs, bench_scale, run_once
+
+from repro.experiments.config import ExperimentConfig, TopologyKind
+from repro.experiments.parallel import run_batch, seed_configs
+
+_SEEDS = [11, 22, 33, 44, 55, 66, 77, 88]
+
+
+def _batch_configs() -> list[ExperimentConfig]:
+    scale = bench_scale()
+    config = ExperimentConfig(
+        total_flows=max(6, int(24 * scale)),
+        n_routers=max(6, int(16 * scale)),
+        topology=TopologyKind.TRANSIT_STUB,
+    )
+    return seed_configs(config, _SEEDS)
+
+
+def test_parallel_seed_batch(benchmark):
+    configs = _batch_configs()
+    jobs = bench_jobs()
+    batch = run_once(benchmark, run_batch, configs, jobs=jobs)
+    assert len(batch.results) == len(_SEEDS)
+    # Every metric partial saw every seed.
+    assert all(stats.count == len(_SEEDS) for stats in batch.stats.values())
+    print(
+        f"\n{len(_SEEDS)} seeds, jobs={batch.jobs}: "
+        f"{batch.wall_seconds:.2f}s wall"
+    )
+    for name, stats in batch.stats.items():
+        print(f"  {name:<22} mean={100 * stats.mean:6.2f}%")
+
+
+def test_serial_parallel_summaries_identical():
+    configs = _batch_configs()[:4]
+    serial = run_batch(configs, jobs=1)
+    parallel = run_batch(configs, jobs=min(4, max(2, bench_jobs())))
+    assert [r.summary for r in serial.results] == [
+        r.summary for r in parallel.results
+    ]

@@ -6,18 +6,28 @@ reproduction's metrics actually are across seeds — the evidence that the
 headline numbers are not one lucky run — and demonstrates the
 steady-state detector on the victim's post-cut arrival series.
 
+The seeds fan out across one worker process per CPU (set
+``REPRO_JOBS=1`` to force the serial path — the per-seed numbers are
+identical either way).
+
 Run:  python examples/multi_seed_confidence.py
 """
 
-from repro.analysis import aggregate_runs, run_seeds, settling_time
+import os
+
+from repro.analysis import aggregate_runs, settling_time
 from repro.experiments import ExperimentConfig
+from repro.experiments.parallel import default_jobs, run_seeds_parallel
 
 
 def main() -> None:
     config = ExperimentConfig(total_flows=24, n_routers=12)
     seeds = [101, 202, 303, 404, 505]
-    print(f"Running {len(seeds)} seeds of the same scenario...")
-    runs = run_seeds(config, seeds)
+    jobs = int(os.environ.get("REPRO_JOBS", default_jobs()))
+    print(f"Running {len(seeds)} seeds of the same scenario ({jobs} worker(s))...")
+    batch = run_seeds_parallel(config, seeds, jobs=jobs)
+    runs = batch.results
+    print(f"...done in {batch.wall_seconds:.1f}s wall")
     for run in runs:
         pct = run.summary.as_percent()
         print(
@@ -27,6 +37,9 @@ def main() -> None:
 
     print("\n95% confidence intervals over seeds:")
     print(aggregate_runs(runs).as_percent_table())
+    print("\nmerged RunningStats (parallel reduction):")
+    for name, stats in batch.stats.items():
+        print(f"  {name:<22} mean={100 * stats.mean:6.2f}%  n={stats.count}")
 
     print("\nSteady-state detection on the victim arrival series:")
     for run in runs[:3]:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.sim.packet import FlowKey, Packet
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class FlowLabel:
     """An opaque 64-bit hashed flow identity."""
 

@@ -75,7 +75,7 @@ class AdaptiveMaficPolicy(DropPolicy):
     def decide(self, packet: "Packet", now: float) -> DropDecision:
         """Bernoulli(Pd) drop-and-probe; otherwise pass (still monitored)."""
         self.decisions += 1
-        if float(self._rng.random()) < self.drop_probability:
+        if self._rng.random() < self.drop_probability:
             self.drops += 1
             return DropDecision.DROP_AND_PROBE
         return DropDecision.PASS
@@ -95,7 +95,7 @@ class ProportionalDropPolicy(DropPolicy):
     def decide(self, packet: "Packet", now: float) -> DropDecision:
         """Bernoulli(Pd) drop with no probe, no tables, no memory."""
         self.decisions += 1
-        if float(self._rng.random()) < self.drop_probability:
+        if self._rng.random() < self.drop_probability:
             self.drops += 1
             return DropDecision.DROP
         return DropDecision.PASS

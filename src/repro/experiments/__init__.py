@@ -16,6 +16,12 @@ mirror the published plot.
 from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.experiments.parallel import (
+    BatchResult,
+    run_batch,
+    run_seeds_parallel,
+    seed_configs,
+)
 from repro.experiments.sweeps import SweepResult, sweep
 from repro.experiments.figures import (
     FigureResult,
@@ -46,6 +52,7 @@ from repro.experiments.workload import (
 )
 
 __all__ = [
+    "BatchResult",
     "BuiltScenario",
     "DefenseKind",
     "ExperimentConfig",
@@ -75,7 +82,10 @@ __all__ = [
     "format_figure",
     "format_summary",
     "get_preset",
+    "run_batch",
     "run_experiment",
+    "run_seeds_parallel",
+    "seed_configs",
     "sweep",
     "validate_config",
 ]

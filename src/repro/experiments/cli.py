@@ -22,6 +22,13 @@ from repro.experiments.reporting import format_figure, format_summary
 from repro.experiments.runner import run_experiment
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -44,6 +51,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--preset", type=str, default=None,
         help="start from a named preset (see `python -m repro presets`); "
         "other flags still override",
+    )
+    run_p.add_argument(
+        "--seeds", type=_positive_int, default=1, metavar="K",
+        help="run K seeds (seed, seed+1, ...) and print mean +/- CI "
+        "instead of one report card",
+    )
+    run_p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for multi-seed runs (default: CPU count; "
+        "1 = serial)",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
@@ -83,6 +100,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             defense=DefenseKind(args.defense),
         )
     config.mafic.drop_probability = args.pd
+    if args.seeds > 1:
+        return _cmd_run_multi_seed(config, args)
     result = run_experiment(config)
     print(format_summary(result.summary))
     if result.activation_time is not None:
@@ -90,6 +109,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"ATR recall {result.atr_recall:.0%}")
     else:
         print("\npushback never triggered")
+    return 0
+
+
+def _cmd_run_multi_seed(config: ExperimentConfig, args: argparse.Namespace) -> int:
+    from repro.analysis.aggregate import aggregate_runs
+    from repro.experiments.parallel import run_seeds_parallel
+
+    seeds = [config.seed + offset for offset in range(args.seeds)]
+    batch = run_seeds_parallel(config, seeds, jobs=args.jobs)
+    for run in batch.results:
+        pct = run.summary.as_percent()
+        print(
+            f"seed {run.config.seed:>4}: alpha={pct['alpha']:6.2f}%  "
+            f"beta={pct['beta']:6.2f}%  theta_p={pct['theta_p']:5.2f}%  "
+            f"theta_n={pct['theta_n']:5.2f}%  Lr={pct['Lr']:5.2f}%"
+        )
+    print()
+    print(aggregate_runs(batch.results).as_percent_table())
+    print(
+        f"\n{len(seeds)} seeds in {batch.wall_seconds:.1f}s "
+        f"({batch.jobs} worker{'s' if batch.jobs != 1 else ''})"
+    )
     return 0
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import BuiltScenario, build_scenario
@@ -13,17 +13,26 @@ from repro.metrics.timeseries import BandwidthSeries
 
 @dataclass
 class ExperimentResult:
-    """One run's outputs."""
+    """One run's outputs.
+
+    ``scenario`` is the live simulation object graph and is ``None`` on
+    results that crossed a process boundary (see :meth:`detached`); every
+    other field is plain picklable data.
+    """
 
     config: ExperimentConfig
     summary: MetricsSummary
     series: BandwidthSeries
-    scenario: BuiltScenario
+    scenario: BuiltScenario | None
     activation_time: float | None
     identified_atrs: set[str] = field(default_factory=set)
     true_atrs: set[str] = field(default_factory=set)
     events_executed: int = 0
     wall_seconds: float = 0.0
+
+    def detached(self) -> "ExperimentResult":
+        """A copy without the (unpicklable) scenario object graph."""
+        return replace(self, scenario=None)
 
     @property
     def atr_precision(self) -> float:

@@ -4,6 +4,13 @@ A classic callback-style engine: events are ``(time, priority, seq)``-ordered
 entries in a binary heap; running an event calls its function.  There are no
 coroutines — handlers schedule follow-up events explicitly — which keeps the
 hot path small and the execution order fully deterministic.
+
+The heap holds plain ``(time, priority, seq, handle)`` tuples so every
+sift compares machine floats/ints at C speed instead of calling into a
+dataclass ``__lt__``.  The :class:`Event` handle is a slotted object that
+carries the callback; cancelling a handle nulls its callback in place
+(O(1)) and the dead tuple is discarded lazily when it surfaces, or in a
+batch compaction when cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
@@ -11,28 +18,58 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
+#: Never compact below this many dead entries — rebuilding a tiny heap
+#: costs more in constant factors than the dead tuples do in sift depth.
+_COMPACT_MIN_DEAD = 64
 
-@dataclass(order=True)
+
 class Event:
-    """One scheduled callback.
+    """Handle to one scheduled callback.
 
-    Ordering is by ``(time, priority, seq)``; ``seq`` is a monotonically
-    increasing tie-breaker so same-time events fire in scheduling order.
+    Ordering lives in the heap tuple ``(time, priority, seq)``, not here;
+    ``seq`` is a monotonically increasing tie-breaker so same-time events
+    fire in scheduling order.  The handle only carries the callback and
+    supports O(1) :meth:`cancel`.
     """
 
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn: Callable[..., None] | None = fn
+        self.args = args
+        self._sim = sim
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called (or the event ran)."""
+        return self.fn is None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it is skipped when popped."""
-        self.cancelled = True
+        if self.fn is None:
+            return
+        self.fn = None
+        self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._on_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.fn is None else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
 
 
 class Simulator:
@@ -51,8 +88,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        # Heap of (time, priority, seq, Event); seq is unique, so the
+        # comparison never reaches the handle.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._next_seq = itertools.count().__next__
+        self._live = 0  # non-cancelled entries still in the heap
+        self._dead = 0  # cancelled entries not yet discarded
         self._running = False
         self._stopped = False
         self.events_executed = 0
@@ -82,14 +123,16 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        time = float(time)
         if time < self._now:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
         if not callable(fn):
             raise TypeError("fn must be callable")
-        ev = Event(time=float(time), priority=priority, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, priority, self._next_seq(), fn, args, self)
+        heapq.heappush(self._heap, (time, priority, ev.seq, ev))
+        self._live += 1
         return ev
 
     def stop(self) -> None:
@@ -98,13 +141,15 @@ class Simulator:
 
     def peek_time(self) -> float:
         """Time of the next pending event, or ``inf`` when the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else math.inf
+        heap = self._heap
+        while heap and heap[0][3].fn is None:
+            heapq.heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else math.inf
 
     def pending(self) -> int:
-        """Number of non-cancelled events currently queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of non-cancelled events currently queued (O(1))."""
+        return self._live
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events until the queue drains, ``until`` passes, or
@@ -118,17 +163,25 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        heap = self._heap  # compaction mutates in place, identity is stable
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                entry = heap[0]
+                ev = entry[3]
+                fn = ev.fn
+                if fn is None:
+                    heappop(heap)
+                    self._dead -= 1
                     continue
-                if until is not None and ev.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = ev.time
-                ev.fn(*ev.args)
+                heappop(heap)
+                self._live -= 1
+                ev.fn = None  # consumed; a late cancel() must be a no-op
+                self._now = time
+                fn(*ev.args)
                 self.events_executed += 1
                 executed_this_run += 1
                 if max_events is not None and executed_this_run >= max_events:
@@ -139,5 +192,21 @@ class Simulator:
             self._now = float(until)
         return self._now
 
+    # ------------------------------------------------------------ internals
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for a handle cancelled while still in the heap."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled tuple and re-heapify (amortized O(n))."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[3].fn is not None]
+        heapq.heapify(heap)
+        self._dead = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(now={self._now:.6f}, pending={self._live})"

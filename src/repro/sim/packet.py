@@ -53,8 +53,19 @@ class FlowKey:
                 raise ValueError(f"{name} out of range: {port}")
 
     def hashed(self) -> int:
-        """Stable 64-bit hash of the label — what the SFT/NFT/PDT store."""
-        return stable_hash64(self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+        """Stable 64-bit hash of the label — what the SFT/NFT/PDT store.
+
+        Cached on first use: transports reuse one key per flow, so every
+        packet of a flow shares the memoized value instead of re-running
+        the byte-level FNV mix per table lookup.
+        """
+        value = self.__dict__.get("_hash64")
+        if value is None:
+            value = stable_hash64(
+                self.src_ip, self.dst_ip, self.src_port, self.dst_port
+            )
+            object.__setattr__(self, "_hash64", value)
+        return value
 
     def reversed(self) -> "FlowKey":
         """The key of the opposite direction (ACK stream)."""

@@ -13,6 +13,8 @@ class Ewma:
     last sample exactly, small alpha smooths heavily.
     """
 
+    __slots__ = ("alpha", "_value")
+
     def __init__(self, alpha: float = 0.25) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
@@ -42,6 +44,8 @@ class RunningStats:
 
     Numerically stable; supports merge for parallel collection.
     """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max")
 
     def __init__(self) -> None:
         self.count = 0
@@ -110,6 +114,8 @@ class WindowedRate:
     ``window`` seconds.
     """
 
+    __slots__ = ("window", "_times", "_weights", "_weight_sum")
+
     def __init__(self, window: float) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -120,9 +126,9 @@ class WindowedRate:
 
     def record(self, now: float, weight: float = 1.0) -> None:
         """Record an event of ``weight`` (e.g. packet size) at time ``now``."""
-        self._times.append(float(now))
-        self._weights.append(float(weight))
-        self._weight_sum += float(weight)
+        self._times.append(now)
+        self._weights.append(weight)
+        self._weight_sum += weight
         self._expire(now)
 
     def rate(self, now: float) -> float:
@@ -136,9 +142,11 @@ class WindowedRate:
         return len(self._times)
 
     def _expire(self, now: float) -> None:
-        cutoff = float(now) - self.window
-        while self._times and self._times[0] <= cutoff:
-            self._times.popleft()
-            self._weight_sum -= self._weights.popleft()
-        if not self._times:
+        cutoff = now - self.window
+        times = self._times
+        weights = self._weights
+        while times and times[0] <= cutoff:
+            times.popleft()
+            self._weight_sum -= weights.popleft()
+        if not times:
             self._weight_sum = 0.0

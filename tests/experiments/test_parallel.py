@@ -1,0 +1,123 @@
+"""Tests for repro.experiments.parallel."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, TopologyKind
+from repro.experiments.parallel import (
+    BatchResult,
+    _chunk_slices,
+    default_jobs,
+    run_batch,
+    run_seeds_parallel,
+    seed_configs,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import sweep
+
+
+def tiny(**overrides):
+    defaults = dict(
+        total_flows=6, n_routers=6, duration=2.5,
+        topology=TopologyKind.STAR, seed=31,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestChunking:
+    def test_slices_cover_everything_in_order(self):
+        slices = _chunk_slices(10, 3)
+        assert slices[0][0] == 0
+        assert slices[-1][1] == 10
+        for (_, stop), (start, _) in zip(slices, slices[1:]):
+            assert stop == start
+
+    def test_more_chunks_than_items_collapses(self):
+        assert _chunk_slices(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_chunk(self):
+        assert _chunk_slices(5, 1) == [(0, 5)]
+
+
+class TestSeedConfigs:
+    def test_one_config_per_seed(self):
+        configs = seed_configs(tiny(), [3, 5, 7])
+        assert [c.seed for c in configs] == [3, 5, 7]
+
+    def test_other_fields_preserved(self):
+        configs = seed_configs(tiny(total_flows=9), [1])
+        assert configs[0].total_flows == 9
+
+
+class TestRunBatch:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch([])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch([tiny()], jobs=0)
+
+    def test_serial_batch_preserves_order(self):
+        batch = run_batch(seed_configs(tiny(), [9, 4, 6]), jobs=1)
+        assert [r.config.seed for r in batch.results] == [9, 4, 6]
+
+    def test_same_seed_same_summary(self):
+        """Determinism: re-running one seed reproduces its MetricsSummary."""
+        config = tiny(seed=42)
+        first = run_batch([config], jobs=1).results[0]
+        second = run_batch([config], jobs=1).results[0]
+        assert first.summary == second.summary
+        assert first.events_executed == second.events_executed
+
+    def test_batch_matches_direct_run_experiment(self):
+        config = tiny(seed=7)
+        direct = run_experiment(config)
+        batched = run_batch([config], jobs=1).results[0]
+        assert batched.summary == direct.summary
+        assert batched.scenario is None  # detached for picklability
+
+    def test_merged_stats_cover_all_runs(self):
+        batch = run_batch(seed_configs(tiny(), [1, 2, 3]), jobs=1)
+        assert isinstance(batch, BatchResult)
+        for stats in batch.stats.values():
+            assert stats.count == 3
+        alphas = [r.summary.accuracy for r in batch.results]
+        assert batch.stats["accuracy"].mean == pytest.approx(
+            sum(alphas) / len(alphas)
+        )
+
+    def test_parallel_equals_serial(self):
+        """The headline guarantee: workers reproduce the serial results."""
+        configs = seed_configs(tiny(), [11, 22, 33, 44])
+        serial = run_batch(configs, jobs=1)
+        parallel = run_batch(configs, jobs=2)
+        assert [r.summary for r in serial.results] == [
+            r.summary for r in parallel.results
+        ]
+        assert [r.config.seed for r in parallel.results] == [11, 22, 33, 44]
+        for name in serial.stats:
+            assert serial.stats[name].count == parallel.stats[name].count
+
+    def test_run_seeds_parallel_wrapper(self):
+        batch = run_seeds_parallel(tiny(), [5, 6], jobs=1)
+        assert [r.config.seed for r in batch.results] == [5, 6]
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSweepJobs:
+    def test_parallel_sweep_matches_serial_sweep(self):
+        kwargs = dict(
+            x_values=[4, 8],
+            apply=lambda cfg, x: cfg.with_overrides(total_flows=int(x)),
+            seeds_per_point=2,
+            name="vt",
+        )
+        serial = sweep(tiny(), **kwargs)
+        parallel = sweep(tiny(), jobs=2, **kwargs)
+        assert serial.x_values == parallel.x_values
+        assert [p.result.summary for p in serial.points] == [
+            p.result.summary for p in parallel.points
+        ]

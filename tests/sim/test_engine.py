@@ -143,3 +143,69 @@ class TestCancellation:
         sim.schedule(2.0, lambda: None)
         ev.cancel()
         assert sim.pending() == 1
+
+    def test_double_cancel_counts_once(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_run_is_noop(self, sim):
+        ran = []
+        ev = sim.schedule(1.0, ran.append, "yes")
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        ev.cancel()
+        assert ran == ["yes"]
+        assert sim.pending() == 1
+
+
+class TestMassCancellation:
+    """pending() must stay O(1) and exact under heavy lazy cancellation."""
+
+    def test_pending_constant_time_under_mass_cancellation(self, sim):
+        import time
+
+        events = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(20_000)]
+        for ev in events[::2]:
+            ev.cancel()
+        # O(1): pending() is a counter read, not a heap scan.  Calling it
+        # many times must be near-instant even with 10k live + dead
+        # entries queued; a linear scan would take seconds here.
+        started = time.perf_counter()
+        for _ in range(10_000):
+            count = sim.pending()
+        elapsed = time.perf_counter() - started
+        assert count == 10_000
+        assert elapsed < 1.0
+
+    def test_compaction_keeps_execution_exact(self, sim):
+        """Cancelling most of the queue still runs the survivors in order."""
+        ran = []
+        events = []
+        for i in range(5_000):
+            events.append(sim.schedule(1.0 + i, ran.append, i))
+        for i, ev in enumerate(events):
+            if i % 100 != 0:
+                ev.cancel()
+        assert sim.pending() == 50
+        sim.run()
+        assert ran == list(range(0, 5_000, 100))
+        assert sim.pending() == 0
+
+    def test_cancel_all_then_schedule_more(self, sim):
+        events = [sim.schedule(1.0, lambda: None) for _ in range(1_000)]
+        for ev in events:
+            ev.cancel()
+        assert sim.pending() == 0
+        ran = []
+        sim.schedule(2.0, ran.append, "still works")
+        sim.run()
+        assert ran == ["still works"]
+
+    def test_peek_time_after_mass_cancellation(self, sim):
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(500)]
+        for ev in events[:-1]:
+            ev.cancel()
+        assert sim.peek_time() == events[-1].time
