@@ -5,18 +5,30 @@ count, and per-zombie behaviour, and instantiates the zombies on source
 hosts spread over the ingress routers (round-robin by default, or
 concentrated on a subset — the paper's ATR identification only flags
 ingresses that actually carry attack flows).
+
+Experiment-facing attacks live in the :data:`ATTACKS` registry: each
+entry turns an :class:`~repro.experiments.config.ExperimentConfig` into
+an (unscheduled) :class:`AttackScenario`.  New attack shapes register
+here and become reachable by name (``ExperimentConfig(attack="...")``)
+with no edits to the scenario composer, the config, or the CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.attacks.zombie import Zombie, ZombieConfig
+from repro.util.registry import Registry
 from repro.util.validation import check_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
     from repro.sim.topology import Topology
+
+#: Attack builders of type ``(Topology, ExperimentConfig, rng) ->
+#: AttackScenario``.  The composer schedules the returned scenario.
+ATTACKS: "Registry[Callable[..., AttackScenario]]" = Registry("attack")
 
 
 @dataclass
@@ -122,3 +134,69 @@ class AttackScenario:
     def total_attack_packets_sent(self) -> int:
         """Ground-truth attack volume emitted so far."""
         return sum(z.stats.packets_sent for z in self.zombies)
+
+
+# --------------------------------------------------------------------------
+# Registry builders: ExperimentConfig -> AttackScenario.
+
+
+def _scenario(
+    topology: "Topology",
+    config: "ExperimentConfig",
+    rng,
+    zombie: ZombieConfig,
+) -> AttackScenario:
+    return AttackScenario(
+        topology,
+        AttackScenarioConfig(
+            n_zombies=config.n_zombies,
+            zombie=zombie,
+            start_time=config.attack_start,
+        ),
+        victim_port=config.victim_port,
+        rng=rng,
+    )
+
+
+@ATTACKS.register("flood")
+def _build_flood(topology, config, rng) -> AttackScenario:
+    """Constant-rate UDP flood at R per zombie (Table II); honours the
+    legacy ``pulsing_attack`` flag for exponential on-off bursts."""
+    return _scenario(topology, config, rng, ZombieConfig(
+        rate_bps=config.rate_bps,
+        packet_size=config.packet_size,
+        spoofing=config.spoofing,
+        pulsing=config.pulsing_attack,
+        mean_on=config.pulse_on,
+        mean_off=config.pulse_off,
+    ))
+
+
+@ATTACKS.register("pulsing", aliases=("on_off", "on-off"))
+def _build_pulsing(topology, config, rng) -> AttackScenario:
+    """Shrew-style on-off zombies: exponential bursts of ``pulse_on``
+    mean seconds separated by ``pulse_off`` mean seconds of silence."""
+    return _scenario(topology, config, rng, ZombieConfig(
+        rate_bps=config.rate_bps,
+        packet_size=config.packet_size,
+        spoofing=config.spoofing,
+        pulsing=True,
+        mean_on=config.pulse_on,
+        mean_off=config.pulse_off,
+    ))
+
+
+@ATTACKS.register("pulse_train", aliases=("pulse-train", "square_wave"))
+def _build_pulse_train(topology, config, rng) -> AttackScenario:
+    """Deterministic duty-cycled zombies: exactly ``pulse_on`` seconds on,
+    ``pulse_off`` seconds off, probing MAFIC's verdict-timer weakness (a
+    flow silent across its probe window is judged responsive)."""
+    return _scenario(topology, config, rng, ZombieConfig(
+        rate_bps=config.rate_bps,
+        packet_size=config.packet_size,
+        spoofing=config.spoofing,
+        pulsing=True,
+        mean_on=config.pulse_on,
+        mean_off=config.pulse_off,
+        pulse_train=True,
+    ))

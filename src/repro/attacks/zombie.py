@@ -32,6 +32,7 @@ class ZombieConfig:
     pulsing: bool = False  # on-off (shrew-style) instead of constant
     mean_on: float = 0.3
     mean_off: float = 0.3
+    pulse_train: bool = False  # deterministic square-wave on/off phases
     jitter: float = 0.05  # CBR inter-packet jitter fraction
 
     def __post_init__(self) -> None:
@@ -78,6 +79,7 @@ class Zombie:
                 is_attack=True,
                 rng=rng,
                 spoof=spoof,
+                deterministic=config.pulse_train,
             )
         else:
             self.sender = CbrSender(

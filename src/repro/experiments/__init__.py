@@ -13,9 +13,13 @@ returning a :class:`~repro.experiments.figures.FigureResult` whose series
 mirror the published plot.
 """
 
+from repro.attacks.scenarios import ATTACKS
+from repro.core.defenses import DEFENSES, DefenseContext
 from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.sim.topology import TOPOLOGIES
+from repro.util.registry import Registry, UnknownComponentError
 from repro.experiments.parallel import (
     BatchResult,
     run_batch,
@@ -46,20 +50,32 @@ from repro.experiments.validation import (
     validate_config,
 )
 from repro.experiments.workload import (
+    WORKLOADS,
     DynamicWorkload,
     DynamicWorkloadConfig,
     TransferRecord,
+    WorkloadBuild,
+    WorkloadContext,
 )
 
 __all__ = [
+    "ATTACKS",
+    "DEFENSES",
+    "TOPOLOGIES",
+    "WORKLOADS",
     "BatchResult",
     "BuiltScenario",
+    "DefenseContext",
     "DefenseKind",
     "ExperimentConfig",
     "ExperimentResult",
     "FigureResult",
+    "Registry",
     "SweepResult",
     "TopologyKind",
+    "UnknownComponentError",
+    "WorkloadBuild",
+    "WorkloadContext",
     "build_scenario",
     "fig3a",
     "fig3b",

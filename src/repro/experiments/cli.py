@@ -3,12 +3,17 @@
 Usage::
 
     python -m repro run [--flows N] [--pd P] [--seed S] [--defense KIND]
+    python -m repro run --preset pulse-train --seeds 8 --jobs 4
+    python -m repro run --list-presets
+    python -m repro run --list {topologies,workloads,attacks,defenses,all}
     python -m repro figure fig3a [--scale S] [--out FILE]
     python -m repro list
 
 ``run`` executes one scenario and prints the metric report card;
 ``figure`` regenerates one paper figure and prints (or writes) its data
-table; ``list`` shows the available figures.
+table; ``list`` shows the available figures.  Component choices come
+straight from the registries, so a newly registered topology, workload,
+attack, or defence is immediately runnable by name.
 """
 
 from __future__ import annotations
@@ -16,10 +21,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.config import DefenseKind, ExperimentConfig
+from repro.attacks.scenarios import ATTACKS
+from repro.core.defenses import DEFENSES
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.reporting import format_figure, format_summary
 from repro.experiments.runner import run_experiment
+from repro.experiments.workload import WORKLOADS
+from repro.sim.topology import TOPOLOGIES
+
+#: The registries ``run --list`` knows how to print.
+COMPONENT_REGISTRIES = {
+    "topologies": TOPOLOGIES,
+    "workloads": WORKLOADS,
+    "attacks": ATTACKS,
+    "defenses": DEFENSES,
+}
 
 
 def _positive_int(text: str) -> int:
@@ -37,20 +54,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one scenario and print metrics")
-    run_p.add_argument("--flows", type=int, default=50, help="Vt, total flows")
-    run_p.add_argument("--pd", type=float, default=0.9, help="drop probability Pd")
-    run_p.add_argument("--tcp", type=float, default=0.95, help="TCP share Gamma")
-    run_p.add_argument("--routers", type=int, default=40, help="domain size N")
+    # Workload/topology knobs default to None so that a --preset keeps
+    # its own values unless a flag is given explicitly.
+    run_p.add_argument("--flows", type=int, default=None, help="Vt, total flows")
+    run_p.add_argument("--pd", type=float, default=None,
+                       help="drop probability Pd (default 0.9)")
+    run_p.add_argument("--tcp", type=float, default=None, help="TCP share Gamma")
+    run_p.add_argument("--routers", type=int, default=None, help="domain size N")
+    run_p.add_argument("--duration", type=float, default=None,
+                       help="run length in seconds")
     run_p.add_argument("--seed", type=int, default=1)
-    run_p.add_argument(
-        "--defense",
-        choices=[kind.value for kind in DefenseKind],
-        default=DefenseKind.MAFIC.value,
-    )
+    run_p.add_argument("--topology", choices=TOPOLOGIES.names(), default=None)
+    run_p.add_argument("--workload", choices=WORKLOADS.names(), default=None)
+    run_p.add_argument("--attack", choices=ATTACKS.names(), default=None)
+    run_p.add_argument("--defense", choices=DEFENSES.names(), default=None)
     run_p.add_argument(
         "--preset", type=str, default=None,
-        help="start from a named preset (see `python -m repro presets`); "
-        "other flags still override",
+        help="start from a named preset (see --list-presets); "
+        "explicit flags still override",
     )
     run_p.add_argument(
         "--seeds", type=_positive_int, default=1, metavar="K",
@@ -61,6 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_positive_int, default=None, metavar="N",
         help="worker processes for multi-seed runs (default: CPU count; "
         "1 = serial)",
+    )
+    run_p.add_argument(
+        "--list-presets", action="store_true",
+        help="print the named presets and exit",
+    )
+    run_p.add_argument(
+        "--list", dest="list_components", default=None,
+        choices=sorted(COMPONENT_REGISTRIES) + ["all"],
+        help="print one registry (or all of them) and exit",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
@@ -85,21 +115,64 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if getattr(args, "preset", None):
+def _print_presets() -> int:
+    from repro.experiments.presets import PRESETS
+
+    for name in sorted(PRESETS):
+        doc = (PRESETS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<26} {doc}")
+    return 0
+
+
+def _print_registries(which: str) -> int:
+    names = (
+        sorted(COMPONENT_REGISTRIES)
+        if which == "all"
+        else [which]
+    )
+    for i, kind in enumerate(names):
+        if i:
+            print()
+        print(f"{kind}:")
+        for name, doc in COMPONENT_REGISTRIES[kind].describe():
+            print(f"  {name:<24} {doc}")
+    return 0
+
+
+def _run_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the run's config: preset (if any) + explicit flag overrides."""
+    overrides = {
+        key: value
+        for key, value in (
+            ("total_flows", args.flows),
+            ("tcp_fraction", args.tcp),
+            ("n_routers", args.routers),
+            ("duration", args.duration),
+            ("topology", args.topology),
+            ("workload", args.workload),
+            ("attack", args.attack),
+            ("defense", args.defense),
+        )
+        if value is not None
+    }
+    overrides["seed"] = args.seed
+    if args.preset:
         from repro.experiments.presets import get_preset
 
-        config = get_preset(args.preset)
-        config = config.with_overrides(seed=args.seed)
+        config = get_preset(args.preset).with_overrides(**overrides)
     else:
-        config = ExperimentConfig(
-            total_flows=args.flows,
-            tcp_fraction=args.tcp,
-            n_routers=args.routers,
-            seed=args.seed,
-            defense=DefenseKind(args.defense),
-        )
-    config.mafic.drop_probability = args.pd
+        config = ExperimentConfig(**overrides)
+    if args.pd is not None:
+        config.mafic.drop_probability = args.pd
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_presets:
+        return _print_presets()
+    if args.list_components:
+        return _print_registries(args.list_components)
+    config = _run_config(args)
     if args.seeds > 1:
         return _cmd_run_multi_seed(config, args)
     result = run_experiment(config)
@@ -180,12 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "presets":
-        from repro.experiments.presets import PRESETS, get_preset
-
-        for name in sorted(PRESETS):
-            doc = (PRESETS[name].__doc__ or "").strip().splitlines()[0]
-            print(f"{name:<26} {doc}")
-        return 0
+        return _print_presets()
     return _cmd_list()
 
 

@@ -17,9 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
+from repro.attacks.scenarios import ATTACKS
 from repro.attacks.spoofing import SpoofingModel, SpoofMode
 from repro.core.config import MaficConfig
+from repro.core.defenses import DEFENSES
 from repro.counting.pushback import PushbackPolicyConfig
+from repro.experiments.workload import WORKLOADS
+from repro.sim.topology import TOPOLOGIES
+from repro.util.registry import Registry
 from repro.util.validation import (
     check_fraction,
     check_non_negative,
@@ -27,21 +32,53 @@ from repro.util.validation import (
 )
 
 
-class TopologyKind(Enum):
-    """Which generator builds the domain."""
+class _ComponentKind(str, Enum):
+    """Base for the legacy component enums.
+
+    The ``topology``/``defense`` fields are registry-validated *names*
+    now; these enums survive for back-compat.  Members compare and hash
+    as their string value, so ``TopologyKind.STAR == "star"`` and either
+    spelling works as a registry key or dict key.
+    """
+
+    __hash__ = str.__hash__
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TopologyKind(_ComponentKind):
+    """Legacy names for the built-in topologies (see ``TOPOLOGIES``)."""
 
     STAR = "star"
     TREE = "tree"
     TRANSIT_STUB = "transit_stub"
 
 
-class DefenseKind(Enum):
-    """Which drop policy the ATRs run."""
+class DefenseKind(_ComponentKind):
+    """Legacy names for the built-in defences (see ``DEFENSES``)."""
 
     MAFIC = "mafic"
     PROPORTIONAL = "proportional"  # the [2] baseline
     RATE_LIMIT = "rate_limit"  # aggregate pushback baseline
     NONE = "none"  # undefended control
+
+
+def _component_name(registry: Registry, value, enum_cls=None):
+    """Canonicalise a component name against its registry.
+
+    Returns the legacy enum member when one exists for the name (so
+    ``config.defense is DefenseKind.MAFIC`` keeps holding) and the plain
+    canonical string for components registered after these enums froze.
+    Unknown names raise ``UnknownComponentError`` listing what exists.
+    """
+    name = registry.canonical(value)
+    if enum_cls is not None:
+        try:
+            return enum_cls(name)
+        except ValueError:
+            pass
+    return name
 
 
 @dataclass
@@ -77,8 +114,15 @@ class ExperimentConfig:
     attack_start: float = 1.05
     legit_start_spread: float = 0.3  # legit flows start in [0, spread)
 
+    # ---- Components -----------------------------------------------------
+    # Registry-validated names (legacy enum members accepted); see
+    # TOPOLOGIES, WORKLOADS, ATTACKS, DEFENSES for what is available and
+    # `python -m repro run --list all` for one-line docs.
+    topology: TopologyKind | str = TopologyKind.TRANSIT_STUB
+    workload: str = "paper_static"
+    attack: str = "flood"
+
     # ---- Topology -------------------------------------------------------
-    topology: TopologyKind = TopologyKind.TRANSIT_STUB
     core_bandwidth_bps: float = 622e6
     access_bandwidth_bps: float = 100e6
     victim_bandwidth_bps: float = 100e6
@@ -101,7 +145,7 @@ class ExperimentConfig:
     )
 
     # ---- Defence --------------------------------------------------------
-    defense: DefenseKind = DefenseKind.MAFIC
+    defense: DefenseKind | str = DefenseKind.MAFIC
     mafic: MaficConfig = field(default_factory=MaficConfig)
     rate_limit_bps: float = 500e3  # per-ATR budget for the baseline
     # When set, every ATR activates at this absolute time — modelling the
@@ -125,6 +169,10 @@ class ExperimentConfig:
     trace_max_records: int | None = 200_000
 
     def __post_init__(self) -> None:
+        self.topology = _component_name(TOPOLOGIES, self.topology, TopologyKind)
+        self.workload = _component_name(WORKLOADS, self.workload)
+        self.attack = _component_name(ATTACKS, self.attack)
+        self.defense = _component_name(DEFENSES, self.defense, DefenseKind)
         if self.total_flows < 1:
             raise ValueError("total_flows must be >= 1")
         check_fraction("tcp_fraction", self.tcp_fraction)

@@ -88,6 +88,28 @@ def proportional_baseline() -> ExperimentConfig:
     return ExperimentConfig(defense=DefenseKind.PROPORTIONAL)
 
 
+def multi_tier_domain() -> ExperimentConfig:
+    """ATRs at two depths behind aggregation routers: pushback requests
+    travel unequal control paths, so near and far ingresses activate at
+    different times (control-plane latency modelled)."""
+    return ExperimentConfig(topology="multi_tier", control_latency=True)
+
+
+def pulse_train() -> ExperimentConfig:
+    """Deterministic duty-cycled zombies (exact 0.25 s on / 0.25 s off
+    square wave) aimed at the verdict-timer weakness; NFT re-probing
+    enabled as the countermeasure."""
+    config = ExperimentConfig(attack="pulse_train", pulse_on=0.25, pulse_off=0.25)
+    config.mafic.renotice_interval = 0.75
+    return config
+
+
+def red_ratelimit() -> ExperimentConfig:
+    """RED on the ingress uplinks plus per-ATR aggregate rate limiting —
+    the queueing-level defence, for comparison against per-flow MAFIC."""
+    return ExperimentConfig(defense="red_rate_limit")
+
+
 PRESETS: dict[str, Callable[[], ExperimentConfig]] = {
     "paper-default": paper_default,
     "heavy-attack": heavy_attack,
@@ -99,6 +121,9 @@ PRESETS: dict[str, Callable[[], ExperimentConfig]] = {
     "filtered-domain": filtered_domain,
     "realistic-control-plane": realistic_control_plane,
     "proportional-baseline": proportional_baseline,
+    "multi-tier-domain": multi_tier_domain,
+    "pulse-train": pulse_train,
+    "red-ratelimit": red_ratelimit,
 }
 
 

@@ -1,46 +1,42 @@
-"""Scenario construction: topology + flows + counting + defence, wired.
+"""Scenario composition: topology + workload + attack + defence, wired.
 
-:func:`build_scenario` turns an :class:`ExperimentConfig` into a
-ready-to-run :class:`BuiltScenario`: the domain is built, legitimate TCP
-and UDP flows and zombies are placed round-robin over the ingress
-subnets, LogLog counters sit at every ingress uplink and the victim
-access link, the TrafficMonitor drives the PushbackCoordinator, and the
-coordinator's requests activate the per-ATR defence agents.
+:func:`build_scenario` is a thin composer over the four component
+registries — :data:`~repro.sim.topology.TOPOLOGIES`,
+:data:`~repro.experiments.workload.WORKLOADS`,
+:data:`~repro.attacks.scenarios.ATTACKS`, and
+:data:`~repro.core.defenses.DEFENSES`.  It looks each component up by
+the name in :class:`ExperimentConfig`, builds them in a fixed order
+(topology, sinks, workload, attack, filtering, counting, defence,
+control plane), and wires the invariant substrate: LogLog counters at
+every ingress uplink and the victim access link, the TrafficMonitor
+driving the PushbackCoordinator, and the coordinator's requests
+activating the per-ATR agents.
+
+Adding a scenario family means registering new components from their
+home modules — this file does not change.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-from repro.attacks.scenarios import AttackScenario, AttackScenarioConfig
-from repro.attacks.zombie import ZombieConfig
-from repro.core.config import MaficConfig
+from repro.attacks.scenarios import ATTACKS, AttackScenario
+from repro.core.defenses import DEFENSES, DefenseContext
 from repro.core.filters import IngressFilter
 from repro.core.mafic import MaficAgent
-from repro.core.policy import (
-    AggregateRateLimitPolicy,
-    DropPolicy,
-    ProportionalDropPolicy,
-)
 from repro.counting.loglog import LogLogLinkCounter
 from repro.counting.pushback import PushbackCoordinator, PushbackRequest
 from repro.counting.setunion import TrafficMatrixEstimator
 from repro.counting.signaling import ControlPlane
-from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workload import WORKLOADS, WorkloadContext
 from repro.metrics.collectors import (
     DefenseMetricsCollector,
     FlowTruth,
     VictimMetricsCollector,
 )
 from repro.sim.monitor import TrafficMonitor
-from repro.sim.packet import FlowKey
-from repro.sim.topology import (
-    Topology,
-    build_star_domain,
-    build_transit_stub_domain,
-    build_tree_domain,
-)
+from repro.sim.topology import TOPOLOGIES, Topology
 from repro.sim.trace import EventTrace
 from repro.transport.sink import AckingSink, CountingSink
 from repro.transport.tcp import TcpSender
@@ -69,6 +65,8 @@ class BuiltScenario:
     udp_sink: CountingSink | None = None
     control_plane: ControlPlane | None = None
     ingress_filters: dict[str, IngressFilter] = field(default_factory=dict)
+    # Workload attachments (e.g. the web-mice DynamicWorkload) land here.
+    mice: object | None = None
 
     @property
     def sim(self):
@@ -76,37 +74,10 @@ class BuiltScenario:
         return self.topology.sim
 
 
-def _build_topology(config: ExperimentConfig) -> Topology:
-    common = dict(
-        core_bandwidth_bps=config.core_bandwidth_bps,
-        access_bandwidth_bps=config.access_bandwidth_bps,
-        victim_bandwidth_bps=config.victim_bandwidth_bps,
-        link_delay=config.link_delay,
-        queue_capacity=config.queue_capacity,
-    )
-    if config.topology is TopologyKind.STAR:
-        return build_star_domain(n_ingress=max(1, config.n_routers - 1), **common)
-    if config.topology is TopologyKind.TREE:
-        # Pick fanout 3 and the depth that reaches roughly n_routers.
-        fanout = 3
-        depth = max(1, round(math.log(max(3, config.n_routers), fanout)) - 0)
-        return build_tree_domain(depth=min(3, depth), fanout=fanout, **common)
-    return build_transit_stub_domain(n_routers=config.n_routers, **common)
-
-
-def _make_policy(config: ExperimentConfig, rng) -> DropPolicy | None:
-    """Policy override for baseline defences (None = MAFIC's own)."""
-    if config.defense is DefenseKind.PROPORTIONAL:
-        return ProportionalDropPolicy(config.mafic.drop_probability, rng)
-    if config.defense is DefenseKind.RATE_LIMIT:
-        return AggregateRateLimitPolicy(config.rate_limit_bps)
-    return None
-
-
 def build_scenario(config: ExperimentConfig) -> BuiltScenario:
     """Assemble a full scenario from one config (does not run it)."""
     rngs = RngRegistry(config.seed)
-    topology = _build_topology(config)
+    topology = TOPOLOGIES.get(config.topology)(config)
     sim = topology.sim
     trace = EventTrace(
         enabled=config.trace_enabled, max_records=config.trace_max_records
@@ -121,73 +92,13 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
     victim_host.bind_port(config.udp_port, udp_sink)
 
     # ---------------------------------------------------- legitimate flows
-    flow_truth: dict[int, FlowTruth] = {}
-    tcp_senders: list[TcpSender] = []
-    udp_senders: list[CbrSender] = []
-    src_hosts = [
-        topology.hosts[f"src{i}"] for i in range(len(topology.ingress_names))
-    ]
-    start_rng = rngs.stream("legit", "starts")
-    next_port: dict[str, int] = {}
-
-    for i in range(config.n_tcp):
-        host = src_hosts[i % len(src_hosts)]
-        port = next_port.get(host.name, 1024)
-        next_port[host.name] = port + 1
-        flow = FlowKey(host.address, victim_host.address, port, config.victim_port)
-        sender = TcpSender(
-            sim,
-            host,
-            flow,
-            packet_size=config.packet_size,
-            ssthresh=config.tcp_max_cwnd,
-            max_cwnd=config.tcp_max_cwnd,
-        )
-        host.bind_port(port, sender)
-        start = float(start_rng.random()) * config.legit_start_spread
-        sender.start(at=start)
-        tcp_senders.append(sender)
-        flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
-
-    for i in range(config.n_udp_legit):
-        host = src_hosts[(config.n_tcp + i) % len(src_hosts)]
-        port = next_port.get(host.name, 1024)
-        next_port[host.name] = port + 1
-        flow = FlowKey(host.address, victim_host.address, port, config.udp_port)
-        sender = CbrSender(
-            sim,
-            host,
-            flow,
-            rate_bps=config.legit_rate_bps,
-            packet_size=config.packet_size,
-            is_attack=False,
-            jitter=0.05,
-            rng=rngs.stream("legit", "udp", i),
-        )
-        host.bind_port(port, sender)
-        start = float(start_rng.random()) * config.legit_start_spread
-        sender.start(at=start)
-        udp_senders.append(sender)
-        flow_truth[flow.hashed()] = FlowTruth.UDP_LEGIT
+    workload = WORKLOADS.get(config.workload)(
+        WorkloadContext(topology=topology, config=config, rngs=rngs)
+    )
+    flow_truth: dict[int, FlowTruth] = dict(workload.flow_truth)
 
     # -------------------------------------------------------------- attack
-    attack = AttackScenario(
-        topology,
-        AttackScenarioConfig(
-            n_zombies=config.n_zombies,
-            zombie=ZombieConfig(
-                rate_bps=config.rate_bps,
-                packet_size=config.packet_size,
-                spoofing=config.spoofing,
-                pulsing=config.pulsing_attack,
-                mean_on=config.pulse_on,
-                mean_off=config.pulse_off,
-            ),
-            start_time=config.attack_start,
-        ),
-        victim_port=config.victim_port,
-        rng=rngs.stream("attack"),
-    )
+    attack = ATTACKS.get(config.attack)(topology, config, rngs.stream("attack"))
     attack.schedule()
     for flow_hash in attack.attack_flow_hashes():
         flow_truth[flow_hash] = FlowTruth.ATTACK
@@ -215,33 +126,15 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
 
     # ------------------------------------------------------------ defence
     defense_collector = DefenseMetricsCollector(flow_truth)
-    agents: dict[str, MaficAgent] = {}
-    if config.defense is not DefenseKind.NONE:
-        victim_subnet = topology.subnet_of_router[topology.victim_router_name]
-        for name in topology.ingress_names:
-            router = topology.routers[name]
-            agent_rng = rngs.stream("mafic", name)
-            agent = MaficAgent(
-                sim,
-                router,
-                victim_matcher=victim_subnet.contains,
-                config=config.mafic,
-                rng=agent_rng,
-                address_space=topology.address_space,
-                policy=_make_policy(config, agent_rng),
-                observer=defense_collector,
-                trace=trace,
-            )
-            if config.defense is not DefenseKind.MAFIC:
-                # Baselines drop blindly; the PDT legality shortcut and
-                # probing belong to MAFIC alone.
-                agent.config = MaficConfig(
-                    drop_probability=config.mafic.drop_probability,
-                    drop_illegal_sources=False,
-                )
-            # Counting first (arrival view), then the dropper.
-            topology.ingress_uplink(name).add_head_hook(agent)
-            agents[name] = agent
+    agents = DEFENSES.get(config.defense)(
+        DefenseContext(
+            topology=topology,
+            config=config,
+            rngs=rngs,
+            collector=defense_collector,
+            trace=trace,
+        )
+    )
 
     # ------------------------------------------------- detection control
     def dispatch_request(request: PushbackRequest) -> None:
@@ -290,11 +183,11 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
 
         sim.schedule_at(config.force_activation_at, _force_activation)
 
-    return BuiltScenario(
+    scenario = BuiltScenario(
         config=config,
         topology=topology,
-        tcp_senders=tcp_senders,
-        udp_senders=udp_senders,
+        tcp_senders=workload.tcp_senders,
+        udp_senders=workload.udp_senders,
         attack=attack,
         agents=agents,
         estimator=estimator,
@@ -309,3 +202,6 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
         control_plane=control_plane,
         ingress_filters=ingress_filters,
     )
+    if workload.finalize is not None:
+        workload.finalize(scenario)
+    return scenario

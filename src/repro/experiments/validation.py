@@ -57,15 +57,11 @@ class ValidationReport:
 
 def _estimate_path_rtt(config: ExperimentConfig) -> float:
     """Rough victim<->source RTT for the configured topology."""
-    # host links (1 ms each side) + ingress uplink + a few core hops.
-    from repro.experiments.config import TopologyKind
+    # host links (1 ms each side) + the hop count each registered
+    # topology declares about itself (``hops_one_way`` registry meta).
+    from repro.sim.topology import TOPOLOGIES
 
-    if config.topology is TopologyKind.STAR:
-        hops_one_way = 2
-    elif config.topology is TopologyKind.TREE:
-        hops_one_way = 3
-    else:  # transit-stub: ingress -> core ring (~2) -> lasthop
-        hops_one_way = 4
+    hops_one_way = TOPOLOGIES.spec(config.topology).meta.get("hops_one_way", 4)
     one_way = 0.002 + hops_one_way * config.link_delay
     return 2 * one_way
 

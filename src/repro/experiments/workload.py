@@ -1,26 +1,146 @@
-"""Dynamic web-like workloads: Poisson arrivals of finite TCP transfers.
+"""Legitimate workloads: the paper's static flows and dynamic mice.
 
-The paper's evaluation uses long-lived flows; real victims (the web
-servers its introduction motivates) serve a churning population of short
-transfers — "mice".  This module spawns finite TCP transfers with
-Poisson arrivals and heavy-tailed sizes, and records each flow's
-completion time, so MAFIC's impact on user-visible latency (flow
-completion time, FCT) can be measured alongside the paper's packet-level
-metrics.
+Two shapes of background traffic live here:
+
+* the **static** workload of the paper's evaluation — ``n_tcp`` greedy
+  long-lived TCP flows plus ``n_udp_legit`` constant-rate UDP flows,
+  placed round-robin over the ingress subnets (the registry's
+  ``paper_static`` entry, extracted from the old monolithic
+  ``build_scenario``);
+* **dynamic web-like mice** — Poisson arrivals of finite TCP transfers
+  with heavy-tailed sizes, recording each flow's completion time so
+  MAFIC's impact on user-visible latency (FCT) can be measured alongside
+  the paper's packet-level metrics.
+
+Experiment-facing workloads live in the :data:`WORKLOADS` registry: a
+builder takes a :class:`WorkloadContext` and returns a
+:class:`WorkloadBuild`.  New workload shapes register here and become
+reachable by name (``ExperimentConfig(workload="...")``) with no edits
+to the scenario composer, the config, or the CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
+from repro.metrics.collectors import FlowTruth
 from repro.sim.packet import FlowKey
 from repro.transport.tcp import TcpSender
+from repro.transport.udp import CbrSender
+from repro.util.registry import Registry
 from repro.util.validation import check_non_negative, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
     from repro.experiments.scenario import BuiltScenario
     from repro.sim.topology import Topology
+    from repro.util.rng import RngRegistry
+
+
+@dataclass
+class WorkloadContext:
+    """What a workload builder gets to place legitimate traffic."""
+
+    topology: "Topology"
+    config: "ExperimentConfig"
+    rngs: "RngRegistry"
+
+
+@dataclass
+class WorkloadBuild:
+    """What a workload builder hands back to the composer."""
+
+    tcp_senders: list[TcpSender] = field(default_factory=list)
+    udp_senders: list[CbrSender] = field(default_factory=list)
+    flow_truth: dict[int, FlowTruth] = field(default_factory=dict)
+    # Called with the finished BuiltScenario — for workloads that need
+    # the full object graph (e.g. mice registering in flow_truth live).
+    finalize: "Callable[[BuiltScenario], None] | None" = None
+
+
+#: Workload builders of type ``(WorkloadContext) -> WorkloadBuild``.
+WORKLOADS: "Registry[Callable[[WorkloadContext], WorkloadBuild]]" = Registry(
+    "workload"
+)
+
+
+@WORKLOADS.register("paper_static", aliases=("static", "paper-static"))
+def build_paper_static(ctx: WorkloadContext) -> WorkloadBuild:
+    """The paper's workload: n_tcp greedy TCP + n_udp_legit CBR flows,
+    round-robin over the ingress subnets, started in [0, spread)."""
+    topology, config, rngs = ctx.topology, ctx.config, ctx.rngs
+    sim = topology.sim
+    victim_host = topology.victim_host
+    build = WorkloadBuild()
+    src_hosts = [
+        topology.hosts[f"src{i}"] for i in range(len(topology.ingress_names))
+    ]
+    start_rng = rngs.stream("legit", "starts")
+    next_port: dict[str, int] = {}
+
+    for i in range(config.n_tcp):
+        host = src_hosts[i % len(src_hosts)]
+        port = next_port.get(host.name, 1024)
+        next_port[host.name] = port + 1
+        flow = FlowKey(host.address, victim_host.address, port, config.victim_port)
+        sender = TcpSender(
+            sim,
+            host,
+            flow,
+            packet_size=config.packet_size,
+            ssthresh=config.tcp_max_cwnd,
+            max_cwnd=config.tcp_max_cwnd,
+        )
+        host.bind_port(port, sender)
+        start = float(start_rng.random()) * config.legit_start_spread
+        sender.start(at=start)
+        build.tcp_senders.append(sender)
+        build.flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
+
+    for i in range(config.n_udp_legit):
+        host = src_hosts[(config.n_tcp + i) % len(src_hosts)]
+        port = next_port.get(host.name, 1024)
+        next_port[host.name] = port + 1
+        flow = FlowKey(host.address, victim_host.address, port, config.udp_port)
+        sender = CbrSender(
+            sim,
+            host,
+            flow,
+            rate_bps=config.legit_rate_bps,
+            packet_size=config.packet_size,
+            is_attack=False,
+            jitter=0.05,
+            rng=rngs.stream("legit", "udp", i),
+        )
+        host.bind_port(port, sender)
+        start = float(start_rng.random()) * config.legit_start_spread
+        sender.start(at=start)
+        build.udp_senders.append(sender)
+        build.flow_truth[flow.hashed()] = FlowTruth.UDP_LEGIT
+
+    return build
+
+
+@WORKLOADS.register("web_mice", aliases=("web-mice", "mice"))
+def build_web_mice(ctx: WorkloadContext) -> WorkloadBuild:
+    """The static workload plus Poisson web mice: churning short TCP
+    transfers whose completion times surface MAFIC's latency cost."""
+    build = build_paper_static(ctx)
+    mice = DynamicWorkload(
+        DynamicWorkloadConfig(
+            tcp_max_cwnd=ctx.config.tcp_max_cwnd,
+            packet_size=ctx.config.packet_size,
+        ),
+        rng=ctx.rngs.stream("workload", "mice"),
+    )
+
+    def finalize(scenario: "BuiltScenario") -> None:
+        mice.install(scenario)
+        scenario.mice = mice
+
+    build.finalize = finalize
+    return build
 
 
 @dataclass
@@ -140,8 +260,6 @@ class DynamicWorkload:
         host.bind_port(port, sender)
         sender.start()
         self.senders.append(sender)
-
-        from repro.metrics.collectors import FlowTruth
 
         scenario.flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT
         scenario.defense_collector.flow_truth[flow.hashed()] = FlowTruth.TCP_LEGIT

@@ -9,15 +9,25 @@ pattern plus a dumbbell for transport unit tests:
 * :func:`build_tree_domain` — a balanced routing tree, victim at the root.
 * :func:`build_transit_stub_domain` — a small transit core ring with stub
   ingress routers, the shape used for the domain-size sweeps (Figs 5c/6c).
+* :func:`build_multi_tier_domain` — ingresses at two depths behind
+  aggregation routers (ATRs near and far from the victim).
 * :func:`build_dumbbell` — 2 hosts, 2 routers, 1 bottleneck.
 
 Every generator returns a :class:`Topology` carrying the simulator, the
 graph, routers/hosts, the address plan, and the victim designation.
+
+Experiment-facing topologies live in the :data:`TOPOLOGIES` registry:
+each entry adapts an :class:`~repro.experiments.config.ExperimentConfig`
+to one generator.  New domain shapes register here and become reachable
+by name (``ExperimentConfig(topology="my_shape")``) with no edits to the
+scenario composer, the config, or the CLI.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import networkx as nx
 
@@ -27,6 +37,18 @@ from repro.sim.link import SimplexLink
 from repro.sim.node import Host, Router
 from repro.sim.queues import DropTailQueue
 from repro.sim.routing import RoutingTable, build_static_routes
+from repro.util.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+#: Experiment topologies: builders of type ``(ExperimentConfig) ->
+#: Topology``.  ``meta`` keys in use: ``hops_one_way`` (router hops from
+#: a source host to the victim, read by the feasibility validator's RTT
+#: estimate).
+TOPOLOGIES: "Registry[Callable[[ExperimentConfig], Topology]]" = Registry(
+    "topology"
+)
 
 
 @dataclass
@@ -372,6 +394,94 @@ def build_transit_stub_domain(
     )
 
 
+def build_multi_tier_domain(
+    n_agg: int = 2,
+    mids_per_agg: int = 2,
+    relays_per_agg: int = 1,
+    leaves_per_relay: int = 3,
+    core_bandwidth_bps: float = 100e6,
+    access_bandwidth_bps: float = 100e6,
+    victim_bandwidth_bps: float = 10e6,
+    link_delay: float = 0.005,
+    queue_capacity: int = 256,
+    sim: Simulator | None = None,
+) -> Topology:
+    """A multi-tier domain with ingress routers at two depths.
+
+    Aggregation routers fan in to the victim's last-hop router.  Each
+    aggregation router fronts *mid* ingress routers (depth 2, close to
+    the victim) and relay routers whose children are *leaf* ingress
+    routers (depth 3, far from the victim).  Both ingress tiers carry
+    source subnets, so ATRs arise at two distances from the victim and
+    pushback requests traverse different control-path lengths — the
+    regime the star domain cannot express.  Relays carry no subnet; a
+    leaf's traffic is examined only at its own uplink, never twice.
+    """
+    if min(n_agg, mids_per_agg, relays_per_agg, leaves_per_relay) < 1:
+        raise ValueError("all tier sizes must be >= 1")
+    sim = sim if sim is not None else Simulator()
+    space = AddressSpace()
+    graph = nx.Graph()
+    links: list[SimplexLink] = []
+    routers: dict[str, Router] = {}
+    hosts: dict[str, Host] = {}
+    subnet_of_router: dict[str, Subnet] = {}
+
+    root = Router(sim, "lasthop")
+    routers["lasthop"] = root
+    graph.add_node("lasthop")
+
+    def connect(parent: str, name: str, bandwidth: float) -> Router:
+        router = Router(sim, name)
+        routers[name] = router
+        graph.add_node(name)
+        graph.add_edge(parent, name, delay=link_delay)
+        _link_pair(sim, routers[parent], router, bandwidth, link_delay,
+                   queue_capacity, links)
+        return router
+
+    ingress_names: list[str] = []
+    for a in range(n_agg):
+        agg_name = f"agg{a}"
+        connect("lasthop", agg_name, core_bandwidth_bps)
+        for m in range(mids_per_agg):
+            ingress_names.append(
+                connect(agg_name, f"mid{a}_{m}", access_bandwidth_bps).name
+            )
+        for r in range(relays_per_agg):
+            relay_name = f"relay{a}_{r}"
+            connect(agg_name, relay_name, core_bandwidth_bps)
+            for leaf in range(leaves_per_relay):
+                ingress_names.append(
+                    connect(relay_name, f"leaf{a}_{r}_{leaf}",
+                            access_bandwidth_bps).name
+                )
+
+    victim_subnet = space.allocate_subnet(24)
+    subnet_of_router["lasthop"] = victim_subnet
+    victim_host, _ = _attach_edge_host(
+        sim, root, space, "victim", victim_bandwidth_bps, 0.001,
+        queue_capacity, links, subnet=victim_subnet,
+    )
+    hosts["victim"] = victim_host
+
+    for i, name in enumerate(ingress_names):
+        subnet = space.allocate_subnet(24)
+        subnet_of_router[name] = subnet
+        host, _ = _attach_edge_host(
+            sim, routers[name], space, f"src{i}", access_bandwidth_bps, 0.001,
+            queue_capacity, links, subnet=subnet,
+        )
+        hosts[f"src{i}"] = host
+
+    build_static_routes(graph, routers, subnet_of_router.items())
+    return Topology(
+        sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
+        subnet_of_router=subnet_of_router, ingress_names=ingress_names,
+        victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )
+
+
 def build_dumbbell(
     bottleneck_bps: float = 1.5e6,
     access_bps: float = 10e6,
@@ -413,4 +523,69 @@ def build_dumbbell(
         sim=sim, graph=graph, routers=routers, hosts=hosts, address_space=space,
         subnet_of_router=subnet_of_router, ingress_names=["left"],
         victim_router_name="lasthop", victim_host_name="victim", links=links,
+    )
+
+
+# --------------------------------------------------------------------------
+# Registry adapters: ExperimentConfig -> generator arguments.  The paper's
+# knobs (bandwidths, delay, queue size, N) map onto each generator here;
+# everything else about a shape stays local to its builder.
+
+
+def _common_link_kwargs(config: "ExperimentConfig") -> dict:
+    return dict(
+        core_bandwidth_bps=config.core_bandwidth_bps,
+        access_bandwidth_bps=config.access_bandwidth_bps,
+        victim_bandwidth_bps=config.victim_bandwidth_bps,
+        link_delay=config.link_delay,
+        queue_capacity=config.queue_capacity,
+    )
+
+
+@TOPOLOGIES.register("star", hops_one_way=2)
+def _star_from_config(config: "ExperimentConfig") -> Topology:
+    """Ingresses star-connected straight to the victim's last-hop router."""
+    return build_star_domain(
+        n_ingress=max(1, config.n_routers - 1), **_common_link_kwargs(config)
+    )
+
+
+@TOPOLOGIES.register("tree", hops_one_way=3)
+def _tree_from_config(config: "ExperimentConfig") -> Topology:
+    """Balanced router tree; leaves are ingresses, the victim at the root."""
+    # Pick fanout 3 and the depth that reaches roughly n_routers.
+    fanout = 3
+    depth = max(1, round(math.log(max(3, config.n_routers), fanout)) - 0)
+    return build_tree_domain(
+        depth=min(3, depth), fanout=fanout, **_common_link_kwargs(config)
+    )
+
+
+@TOPOLOGIES.register("transit_stub", aliases=("transit-stub",), hops_one_way=4)
+def _transit_stub_from_config(config: "ExperimentConfig") -> Topology:
+    """Transit ring core with stub ingresses; honours n_routers exactly."""
+    return build_transit_stub_domain(
+        n_routers=config.n_routers, **_common_link_kwargs(config)
+    )
+
+
+@TOPOLOGIES.register("multi_tier", aliases=("multi-tier",), hops_one_way=4)
+def _multi_tier_from_config(config: "ExperimentConfig") -> Topology:
+    """Two ingress tiers behind aggregation routers (ATRs at two depths)."""
+    # Split n_routers across aggregation subtrees, each one relay plus
+    # mid/leaf ingresses in a ~1:2 ratio.  Router count comes out at
+    # n_routers up to integer-division remainders; the smallest
+    # expressible two-tier domain (agg + relay + one ingress per tier)
+    # has 5 routers, the floor for n_routers <= 5.
+    n_agg = 1 if config.n_routers < 12 else 2 if config.n_routers < 24 else 3
+    per_agg = max(3, (config.n_routers - 1 - n_agg) // n_agg)
+    budget = per_agg - 1  # one relay per subtree
+    mids = max(1, budget // 3)
+    leaves = max(1, budget - mids)
+    return build_multi_tier_domain(
+        n_agg=n_agg,
+        mids_per_agg=mids,
+        relays_per_agg=1,
+        leaves_per_relay=leaves,
+        **_common_link_kwargs(config),
     )

@@ -91,11 +91,15 @@ class CbrSender(FlowAgent):
 
 
 class OnOffSender(CbrSender):
-    """Exponential on-off CBR: bursts at ``rate_bps``, silent in between.
+    """On-off CBR: bursts at ``rate_bps``, silent in between.
 
     Used for pulsing-attack ablations and as a bursty legitimate UDP
-    workload.  ``mean_on``/``mean_off`` are the exponential means of the
-    burst and silence durations.
+    workload.  By default ``mean_on``/``mean_off`` are the exponential
+    means of the burst and silence durations; with
+    ``deterministic=True`` they are the *exact* durations, giving a
+    strictly periodic square-wave "pulse train" — the duty-cycled shape
+    that probes verdict-timer defences (silent while judged, bursting
+    between verdicts).
     """
 
     def __init__(
@@ -111,6 +115,7 @@ class OnOffSender(CbrSender):
         rng=None,
         spoof: Callable[[Packet], Packet] | None = None,
         keep_send_times: bool = False,
+        deterministic: bool = False,
     ) -> None:
         if rng is None:
             raise ValueError("OnOffSender requires an rng")
@@ -121,8 +126,21 @@ class OnOffSender(CbrSender):
                          keep_send_times=keep_send_times)
         self.mean_on = float(mean_on)
         self.mean_off = float(mean_off)
+        self.deterministic = bool(deterministic)
         self._on = False
         self._phase_ends = 0.0
+
+    def _draw_on(self) -> float:
+        if self.deterministic:
+            return self.mean_on
+        return float(self._rng.exponential(self.mean_on))
+
+    def _draw_off(self) -> float:
+        if self.mean_off == 0:
+            return 0.0
+        if self.deterministic:
+            return self.mean_off
+        return float(self._rng.exponential(self.mean_off))
 
     def start(self, at: float | None = None) -> None:
         """Begin the first burst at ``at`` (default now)."""
@@ -136,7 +154,7 @@ class OnOffSender(CbrSender):
         if self.stopped:
             return
         self._on = True
-        self._phase_ends = self.sim.now + float(self._rng.exponential(self.mean_on))
+        self._phase_ends = self.sim.now + self._draw_on()
         self._tick()
 
     def _tick(self) -> None:
@@ -146,8 +164,7 @@ class OnOffSender(CbrSender):
             return
         if self.sim.now >= self._phase_ends:
             self._on = False
-            off = float(self._rng.exponential(self.mean_off)) if self.mean_off else 0.0
-            self.sim.schedule(off, self._start_burst)
+            self.sim.schedule(self._draw_off(), self._start_burst)
             return
         packet = self._make_data(self._seq)
         self._seq += 1

@@ -1,0 +1,161 @@
+"""A small name -> builder registry with aliases and docs.
+
+The scenario subsystem composes every run from four pluggable component
+families — topologies, workloads, attacks, and defences — each kept in
+one :class:`Registry`.  Components self-register at import time with the
+:meth:`Registry.register` decorator, so adding a scenario family is a
+one-file change: define the builder, register it, done.  Nothing in the
+composer (``repro.experiments.scenario``), the config validation, or the
+CLI needs editing — they all read the registries.
+
+>>> WIDGETS = Registry("widget")
+>>> @WIDGETS.register("basic", aliases=("plain",), doc="The plain widget.")
+... def build_basic():
+...     return "basic-widget"
+>>> WIDGETS.get("plain")()
+'basic-widget'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+B = TypeVar("B")
+
+
+class UnknownComponentError(KeyError):
+    """Lookup of a name no component was registered under."""
+
+
+@dataclass(frozen=True)
+class Registered(Generic[B]):
+    """One registry entry: the builder plus its descriptive metadata."""
+
+    name: str
+    builder: B
+    doc: str = ""
+    aliases: tuple[str, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def _as_name(value: Any) -> str:
+    """Normalise a lookup key: enum members resolve to their value."""
+    if isinstance(value, Enum):
+        return str(value.value)
+    return str(value)
+
+
+class Registry(Generic[B]):
+    """Maps component names (and aliases) to builder callables.
+
+    ``kind`` only labels error messages ("unknown topology ..."). Canonical
+    names should be lowercase snake_case; aliases cover legacy spellings
+    (``transit-stub``) and convenient shorthands.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Registered[B]] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------ writing
+
+    def register(
+        self,
+        name: str,
+        *,
+        aliases: tuple[str, ...] | list[str] = (),
+        doc: str | None = None,
+        **meta: Any,
+    ) -> Callable[[B], B]:
+        """Decorator: register ``builder`` under ``name`` (plus aliases).
+
+        ``doc`` defaults to the first line of the builder's docstring;
+        extra keyword arguments land in the entry's ``meta`` dict (e.g.
+        ``hops_one_way`` for topologies, read by the validator).
+        """
+
+        def decorate(builder: B) -> B:
+            if name in self._entries or name in self._aliases:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            summary = doc
+            if summary is None:
+                raw = getattr(builder, "__doc__", None) or ""
+                summary = raw.strip().splitlines()[0] if raw.strip() else ""
+            for alias in aliases:
+                if alias in self._entries or alias in self._aliases:
+                    raise ValueError(
+                        f"{self.kind} alias {alias!r} is already registered"
+                    )
+            self._entries[name] = Registered(
+                name=name,
+                builder=builder,
+                doc=summary,
+                aliases=tuple(aliases),
+                meta=dict(meta),
+            )
+            for alias in aliases:
+                self._aliases[alias] = name
+            return builder
+
+        return decorate
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and its aliases; unknown names are a no-op
+        (test-teardown helper)."""
+        try:
+            canonical = self.canonical(name)
+        except UnknownComponentError:
+            return
+        entry = self._entries.pop(canonical)
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    # ------------------------------------------------------------ reading
+
+    def canonical(self, name: Any) -> str:
+        """Resolve a name, alias, or legacy enum member to the canonical
+        name; raises :class:`UnknownComponentError` listing what exists."""
+        key = _as_name(name)
+        if key in self._entries:
+            return key
+        if key in self._aliases:
+            return self._aliases[key]
+        known = ", ".join(sorted(self._entries))
+        raise UnknownComponentError(
+            f"unknown {self.kind} {key!r}; registered: {known}"
+        )
+
+    def spec(self, name: Any) -> Registered[B]:
+        """The full entry for ``name``."""
+        return self._entries[self.canonical(name)]
+
+    def get(self, name: Any) -> B:
+        """The builder registered under ``name``."""
+        return self.spec(name).builder
+
+    def names(self) -> list[str]:
+        """Canonical names, sorted."""
+        return sorted(self._entries)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """(name, one-line doc) pairs for listings, sorted by name."""
+        return [(name, self._entries[name].doc) for name in self.names()]
+
+    def __contains__(self, name: Any) -> bool:
+        try:
+            self.canonical(name)
+        except UnknownComponentError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Registry({self.kind!r}, {self.names()})"

@@ -71,3 +71,54 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "detection-infeasible" in out
         assert "NOT feasible" in out
+
+
+class TestRegistryListing:
+    def test_list_presets_flag(self, capsys):
+        assert main(["run", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-default", "multi-tier-domain", "pulse-train",
+                     "red-ratelimit"):
+            assert name in out
+
+    def test_list_single_registry(self, capsys):
+        assert main(["run", "--list", "defenses"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mafic", "proportional", "rate_limit", "none",
+                     "red_rate_limit"):
+            assert name in out
+        assert "topologies" not in out
+
+    def test_list_all_registries(self, capsys):
+        assert main(["run", "--list", "all"]) == 0
+        out = capsys.readouterr().out
+        for section in ("topologies:", "workloads:", "attacks:", "defenses:"):
+            assert section in out
+        assert "multi_tier" in out
+        assert "pulse_train" in out
+
+    def test_list_rejects_unknown_registry(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--list", "sandwiches"])
+
+
+class TestPresetOverrides:
+    def test_preset_run_with_scale_overrides(self, capsys):
+        code = main([
+            "run", "--preset", "pulse-train", "--flows", "8",
+            "--routers", "8", "--duration", "2.0", "--seed", "3",
+        ])
+        assert code == 0
+        assert "accuracy alpha" in capsys.readouterr().out
+
+    def test_component_flags_without_preset(self, capsys):
+        code = main([
+            "run", "--flows", "8", "--routers", "8", "--duration", "2.0",
+            "--topology", "multi_tier", "--seed", "3",
+        ])
+        assert code == 0
+        assert "accuracy alpha" in capsys.readouterr().out
+
+    def test_unknown_component_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--defense", "prayer"])

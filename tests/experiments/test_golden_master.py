@@ -1,0 +1,44 @@
+"""Golden-master: scenario composition reproduces recorded summaries.
+
+The fixture pins the ``paper_default`` per-seed metric summaries
+(hex-encoded floats, so the comparison is bit-exact).  It was recorded
+from the pre-refactor monolithic ``build_scenario``, so the registry
+composition path reproducing it proves the refactor changed no physics.
+Any future change that silently alters paper_default physics fails
+here; an intentional engine change must re-record the fixture and
+document the delta (see ROADMAP.md engine perf notes).
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.presets import paper_default
+from repro.experiments.runner import run_experiment
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_paper_default.json"
+
+
+def _hexed_summary(result) -> dict:
+    fields = dataclasses.asdict(result.summary)
+    return {
+        key: (value.hex() if isinstance(value, float) else value)
+        for key, value in fields.items()
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_paper_default_matches_recorded_summary(seed):
+    golden = json.loads(FIXTURE.read_text())[str(seed)]
+    result = run_experiment(paper_default().with_overrides(seed=seed))
+    assert _hexed_summary(result) == golden["summary"]
+    assert result.events_executed == golden["events_executed"]
+    assert sorted(result.identified_atrs) == golden["identified_atrs"]
+    assert sorted(result.true_atrs) == golden["true_atrs"]
+    recorded = golden["activation_time"]
+    if recorded is None:
+        assert result.activation_time is None
+    else:
+        assert result.activation_time.hex() == recorded

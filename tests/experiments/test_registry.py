@@ -1,0 +1,172 @@
+"""Tests for the component registries and the generic Registry.
+
+The headline property: registering a new component is a self-contained
+act — no edits to scenario.py, config.py switch logic, or the CLI — so
+these tests register throwaway components and run them end to end.
+"""
+
+import pytest
+
+from repro.attacks.scenarios import ATTACKS
+from repro.core.defenses import DEFENSES
+from repro.experiments.config import (
+    DefenseKind,
+    ExperimentConfig,
+    TopologyKind,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.workload import WORKLOADS
+from repro.sim.topology import TOPOLOGIES, build_star_domain
+from repro.util.registry import Registry, UnknownComponentError
+
+
+class TestGenericRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+
+        @reg.register("basic", aliases=("plain",), doc="A basic widget.")
+        def build():
+            return 42
+
+        assert reg.get("basic")() == 42
+        assert reg.get("plain")() == 42
+        assert reg.canonical("plain") == "basic"
+        assert "basic" in reg
+        assert reg.describe() == [("basic", "A basic widget.")]
+
+    def test_doc_defaults_to_first_docstring_line(self):
+        reg = Registry("widget")
+
+        @reg.register("documented")
+        def build():
+            """First line.
+
+            Second paragraph ignored."""
+
+        assert reg.spec("documented").doc == "First line."
+
+    def test_unknown_name_lists_known(self):
+        reg = Registry("widget")
+        reg.register("only")(lambda: None)
+        with pytest.raises(UnknownComponentError, match="only"):
+            reg.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("taken", aliases=("also",))(lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("taken")(lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("also")(lambda: None)
+
+    def test_unregister_removes_aliases(self):
+        reg = Registry("widget")
+        reg.register("gone", aliases=("bye",))(lambda: None)
+        reg.unregister("gone")
+        assert "gone" not in reg
+        assert "bye" not in reg
+
+    def test_meta_carried(self):
+        reg = Registry("widget")
+        reg.register("tagged", colour="red")(lambda: None)
+        assert reg.spec("tagged").meta == {"colour": "red"}
+
+
+class TestBuiltinRegistries:
+    def test_builtin_component_names(self):
+        assert {"star", "tree", "transit_stub", "multi_tier"} <= set(
+            TOPOLOGIES.names()
+        )
+        assert {"flood", "pulsing", "pulse_train"} <= set(ATTACKS.names())
+        assert {
+            "mafic", "proportional", "rate_limit", "none", "red_rate_limit"
+        } <= set(DEFENSES.names())
+        assert {"paper_static", "web_mice"} <= set(WORKLOADS.names())
+
+    def test_legacy_enum_members_resolve(self):
+        assert TOPOLOGIES.canonical(TopologyKind.STAR) == "star"
+        assert DEFENSES.canonical(DefenseKind.RATE_LIMIT) == "rate_limit"
+
+    def test_legacy_aliases_resolve(self):
+        assert TOPOLOGIES.canonical("transit-stub") == "transit_stub"
+        assert DEFENSES.canonical("rate-limit") == "rate_limit"
+
+
+class TestConfigValidation:
+    def test_enum_members_survive_for_known_names(self):
+        config = ExperimentConfig(topology="star", defense="mafic")
+        assert config.topology is TopologyKind.STAR
+        assert config.defense is DefenseKind.MAFIC
+
+    def test_new_style_names_stay_strings(self):
+        config = ExperimentConfig(
+            topology="multi_tier", defense="red_rate_limit"
+        )
+        assert config.topology == "multi_tier"
+        assert config.defense == "red_rate_limit"
+
+    def test_unknown_component_rejected_at_construction(self):
+        with pytest.raises(UnknownComponentError):
+            ExperimentConfig(topology="moebius_strip")
+        with pytest.raises(UnknownComponentError):
+            ExperimentConfig(attack="carrier_pigeon")
+        with pytest.raises(UnknownComponentError):
+            ExperimentConfig(defense="prayer")
+        with pytest.raises(UnknownComponentError):
+            ExperimentConfig(workload="crypto_mining")
+
+
+class TestInTestRegistration:
+    """New components need zero core edits: register here, run here."""
+
+    def test_dummy_topology_runs_end_to_end(self):
+        @TOPOLOGIES.register(
+            "test-dummy-star", doc="Tiny star for the seam test.",
+            hops_one_way=2,
+        )
+        def build_dummy(config):
+            return build_star_domain(
+                n_ingress=3,
+                core_bandwidth_bps=config.core_bandwidth_bps,
+                access_bandwidth_bps=config.access_bandwidth_bps,
+                victim_bandwidth_bps=config.victim_bandwidth_bps,
+                link_delay=config.link_delay,
+                queue_capacity=config.queue_capacity,
+            )
+
+        try:
+            config = ExperimentConfig(
+                topology="test-dummy-star", total_flows=8, duration=2.0,
+                seed=3,
+            )
+            result = run_experiment(config)
+            assert result.events_executed > 0
+            assert len(result.scenario.topology.ingress_names) == 3
+        finally:
+            TOPOLOGIES.unregister("test-dummy-star")
+
+    def test_dummy_defense_runs_end_to_end(self):
+        from repro.core.defenses import install_agent_line
+        from repro.core.policy import ProportionalDropPolicy
+
+        @DEFENSES.register("test-half-drop", doc="Blind 50% dropper.")
+        def build_half(ctx):
+            return install_agent_line(
+                ctx,
+                lambda config, rng: ProportionalDropPolicy(0.5, rng),
+                adaptive=False,
+            )
+
+        try:
+            config = ExperimentConfig(
+                topology="star", defense="test-half-drop", total_flows=8,
+                n_routers=6, duration=2.0, seed=3,
+            )
+            result = run_experiment(config)
+            agents = result.scenario.agents
+            assert agents and all(
+                agent.policy.drop_probability == 0.5
+                for agent in agents.values()
+            )
+        finally:
+            DEFENSES.unregister("test-half-drop")

@@ -97,3 +97,52 @@ class TestRED:
         for i in range(10):
             q.enqueue(pkt(i), 0.0)
         assert q.average_occupancy > 0.0
+
+
+class TestREDDropRamp:
+    @staticmethod
+    def _drop_rate_at_occupancy(level, trials=400, seed=11):
+        """Empirical early-drop probability with the EWMA pinned at
+        ``level``: the queue is preloaded directly (bypassing admission)
+        and weight=1 makes the average track the held queue length."""
+        q = REDQueue(capacity=64, min_thresh=5, max_thresh=20, max_prob=0.2,
+                     weight=1.0, rng=np.random.default_rng(seed))
+        for i in range(level):
+            q._queue.append(pkt(i))
+        q._avg = float(level)
+        drops = 0
+        for i in range(trials):
+            if q.enqueue(pkt(100 + i), 0.0):
+                q._queue.pop()  # hold the length constant at `level`
+            else:
+                drops += 1
+        return drops / trials
+
+    def test_probability_ramps_between_thresholds(self):
+        low = self._drop_rate_at_occupancy(7)
+        mid = self._drop_rate_at_occupancy(12)
+        high = self._drop_rate_at_occupancy(18)
+        assert low < mid < high
+
+    def test_zero_below_min_threshold(self):
+        assert self._drop_rate_at_occupancy(4) == 0.0
+
+    def test_certain_at_max_threshold(self):
+        assert self._drop_rate_at_occupancy(20) == 1.0
+
+    def test_early_drops_counted_separately_from_overflow(self):
+        q = REDQueue(capacity=4, min_thresh=1, max_thresh=4, weight=1.0,
+                     rng=np.random.default_rng(6))
+        for i in range(30):
+            q.enqueue(pkt(i), 0.0)
+        assert len(q) <= 4
+        assert q.drops >= q.early_drops
+        assert q.drops > 0
+
+    def test_dequeue_empty_and_after_drain(self):
+        q = REDQueue(capacity=8, min_thresh=2, max_thresh=6,
+                     rng=np.random.default_rng(7))
+        assert q.dequeue() is None
+        q.enqueue(pkt(0), 0.0)
+        assert q.dequeue().seq == 0
+        assert q.dequeue() is None
