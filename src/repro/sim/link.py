@@ -61,7 +61,12 @@ class SimplexLink:
         self.queue: PacketQueue = queue if queue is not None else DropTailQueue()
         self.name = name if name is not None else f"{src.name}->{dst.name}"
         self._head_hooks: list[LinkHook] = []
-        self._busy = False
+        # The transmitter is a busy-until timestamp, not an event: a
+        # packet offered to an idle link is dequeued and its delivery
+        # scheduled immediately, with no intermediate tx-complete event.
+        # A continuation wake-up exists only while a backlog is queued.
+        self._busy_until = 0.0
+        self._drain_pending = False
         self._up = True
         self.packets_sent = 0
         self.bytes_sent = 0
@@ -113,24 +118,34 @@ class SimplexLink:
                 return False
         if not self.queue.enqueue(packet, now):
             return False
-        if not self._busy:
-            self._start_transmission()
+        if not self._drain_pending:
+            if self._busy_until <= now:
+                self._drain(now)
+            else:
+                self._drain_pending = True
+                self.sim.schedule_at(self._busy_until, self._drain_event)
         return True
 
-    def _start_transmission(self) -> None:
+    def _drain(self, now: float) -> None:
+        """Pull the next packet and schedule its delivery in one step."""
         packet = self.queue.dequeue()
         if packet is None:
-            self._busy = False
             return
-        self._busy = True
         tx = transmission_delay(packet.size, self.bandwidth_bps)
-        self.sim.schedule(tx, self._finish_transmission, packet)
-
-    def _finish_transmission(self, packet: Packet) -> None:
+        depart = now + tx
+        self._busy_until = depart
+        # Counted when committed to the wire: at most the one packet
+        # still serializing differs from the old at-tx-complete counters.
         self.packets_sent += 1
         self.bytes_sent += packet.size
-        self.sim.schedule(self.delay, self._deliver, packet)
-        self._start_transmission()
+        self.sim.schedule_at(depart + self.delay, self._deliver, packet)
+        if len(self.queue):
+            self._drain_pending = True
+            self.sim.schedule_at(depart, self._drain_event)
+
+    def _drain_event(self) -> None:
+        self._drain_pending = False
+        self._drain(self.sim.now)
 
     def _deliver(self, packet: Packet) -> None:
         packet.hop_count += 1

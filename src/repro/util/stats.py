@@ -114,7 +114,7 @@ class WindowedRate:
     ``window`` seconds.
     """
 
-    __slots__ = ("window", "_times", "_weights", "_weight_sum")
+    __slots__ = ("window", "_times", "_weights", "_weight_sum", "_next_expiry")
 
     def __init__(self, window: float) -> None:
         if window <= 0:
@@ -123,13 +123,21 @@ class WindowedRate:
         self._times: deque[float] = deque()
         self._weights: deque[float] = deque()
         self._weight_sum = 0.0
+        # Prune watermark: record() only prunes once the oldest entry is
+        # a full window past expiry, so the per-sample hot path is one
+        # float compare and expired entries leave in one batch per
+        # window (bounding memory at ~2 windows of samples).
+        # rate()/count() always prune fully, so the values read are
+        # exact regardless of when record() last pruned.
+        self._next_expiry = -math.inf
 
     def record(self, now: float, weight: float = 1.0) -> None:
         """Record an event of ``weight`` (e.g. packet size) at time ``now``."""
         self._times.append(now)
         self._weights.append(weight)
         self._weight_sum += weight
-        self._expire(now)
+        if now >= self._next_expiry:
+            self._expire(now)
 
     def rate(self, now: float) -> float:
         """Events (weighted) per second over the trailing window."""
@@ -148,5 +156,8 @@ class WindowedRate:
         while times and times[0] <= cutoff:
             times.popleft()
             self._weight_sum -= weights.popleft()
-        if not times:
+        if times:
+            self._next_expiry = times[0] + 2.0 * self.window
+        else:
             self._weight_sum = 0.0
+            self._next_expiry = now + 2.0 * self.window

@@ -1,12 +1,16 @@
 """Golden-master: scenario composition reproduces recorded summaries.
 
 The fixture pins the ``paper_default`` per-seed metric summaries
-(hex-encoded floats, so the comparison is bit-exact).  It was recorded
-from the pre-refactor monolithic ``build_scenario``, so the registry
-composition path reproducing it proves the refactor changed no physics.
-Any future change that silently alters paper_default physics fails
-here; an intentional engine change must re-record the fixture and
-document the delta (see ROADMAP.md engine perf notes).
+(hex-encoded floats, so the comparison is bit-exact).  It was first
+recorded from the pre-refactor monolithic ``build_scenario`` and the
+registry composition path reproduced it bit-for-bit, proving the
+refactor changed no physics.  It was then re-recorded when link drains
+were batched: the event count dropped ~46% and the changed same-time
+event interleaving moved exactly one boundary packet on seed 1
+(wellbehaved_examined 4374 -> 4375; alpha/beta/theta unchanged) — see
+the ROADMAP engine perf notes.  Any future change that silently alters
+paper_default physics fails here; an intentional engine change must
+re-record the fixture and document the delta the same way.
 """
 
 import dataclasses
