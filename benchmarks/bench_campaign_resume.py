@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Measure warm-cache campaign resume cost and record it as BENCH_*.json.
+
+Runs a small two-axis, multi-seed campaign cold (every run executes),
+then "resumes" the complete campaign twice more: once through
+``run_campaign`` (plan + skip every cached hash) and once through the
+report path (load + aggregate every artifact).  The point of the
+numbers: a finished campaign costs milliseconds to re-enter, so
+repeating a 10,000-run grid after a crash — or after adding one axis
+point — only ever pays for the missing cells.
+
+Run:  PYTHONPATH=src python benchmarks/bench_campaign_resume.py [--runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    campaign_report,
+    run_campaign,
+)
+
+
+def build_spec(n_points: int, n_seeds: int) -> CampaignSpec:
+    """A tiny grid: n_points attack intensities x n_seeds seeds."""
+    values = tuple(
+        round(0.2 + 0.6 * i / max(1, n_points - 1), 4) for i in range(n_points)
+    )
+    return CampaignSpec(
+        name="bench-resume",
+        seeds=tuple(range(1, n_seeds + 1)),
+        base={
+            "total_flows": 10,
+            "n_routers": 6,
+            "duration": 1.5,
+            "attack_start": 1.05,
+            "topology": "star",
+        },
+        axes=({"field": "attack_fraction", "values": values},),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=4)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_campaign_resume.json"
+        ),
+    )
+    args = parser.parse_args()
+
+    spec = build_spec(args.points, args.seeds)
+    n_runs = len(spec.plan())
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as root:
+        print(f"cold: {n_runs} runs...")
+        cold = run_campaign(spec, root=root, jobs=args.jobs)
+        assert cold.executed == n_runs, "cold run must execute everything"
+        print(f"  {cold.wall_seconds:.2f}s wall")
+
+        print("warm resume (all artifacts present)...")
+        warm = run_campaign(spec, root=root, jobs=args.jobs)
+        assert warm.executed == 0, "warm resume must execute nothing"
+        print(f"  {warm.wall_seconds * 1e3:.1f}ms wall")
+
+        started = time.perf_counter()
+        report = campaign_report(spec, root)
+        report_seconds = time.perf_counter() - started
+        assert report["complete"] == n_runs
+        print(f"report over {n_runs} artifacts: {report_seconds * 1e3:.1f}ms")
+
+    speedup = cold.wall_seconds / max(1e-9, warm.wall_seconds)
+    record = {
+        "benchmark": "campaign_warm_resume",
+        "runs": n_runs,
+        "axis_points": args.points,
+        "seeds": args.seeds,
+        "jobs": cold.jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cold_wall_seconds": round(cold.wall_seconds, 3),
+        "warm_resume_wall_seconds": round(warm.wall_seconds, 4),
+        "report_wall_seconds": round(report_seconds, 4),
+        "warm_speedup": round(speedup, 1),
+        "warm_executed_runs": warm.executed,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwarm resume {speedup:.0f}x cheaper than cold execution")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

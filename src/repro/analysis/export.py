@@ -23,10 +23,18 @@ def summary_to_dict(summary: MetricsSummary) -> dict[str, Any]:
         "attack_dropped": summary.attack_dropped,
         "wellbehaved_examined": summary.wellbehaved_examined,
         "wellbehaved_dropped": summary.wellbehaved_dropped,
+        "wellbehaved_pdt_drops": summary.wellbehaved_pdt_drops,
         "total_examined": summary.total_examined,
         "victim_rate_before_bps": summary.victim_rate_before_bps,
         "victim_rate_after_bps": summary.victim_rate_after_bps,
     }
+
+
+def summary_from_dict(data: dict[str, Any]) -> MetricsSummary:
+    """Rebuild a :class:`MetricsSummary` from :func:`summary_to_dict`
+    output (the campaign store's read path).  Unknown keys are rejected;
+    missing optional counts fall back to the dataclass defaults."""
+    return MetricsSummary(**data)
 
 
 def figure_to_dict(figure: FigureResult) -> dict[str, Any]:
@@ -61,10 +69,7 @@ def figure_to_csv(figure: FigureResult) -> list[list[Any]]:
 
 def write_csv(figure: FigureResult, path: str | Path) -> Path:
     """Write one figure as CSV; returns the path."""
-    target = Path(path)
-    with target.open("w", newline="", encoding="utf-8") as f:
-        csv.writer(f).writerows(figure_to_csv(figure))
-    return target
+    return write_rows_csv(figure_to_csv(figure), path)
 
 
 def write_json(payload: dict[str, Any], path: str | Path) -> Path:
@@ -73,4 +78,12 @@ def write_json(payload: dict[str, Any], path: str | Path) -> Path:
     with target.open("w", encoding="utf-8") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
+    return target
+
+
+def write_rows_csv(rows: list[list[Any]], path: str | Path) -> Path:
+    """Write pre-built CSV rows (header first); returns the path."""
+    target = Path(path)
+    with target.open("w", newline="", encoding="utf-8") as f:
+        csv.writer(f).writerows(rows)
     return target

@@ -15,6 +15,7 @@ with no edits to the scenario composer, the config, or the CLI.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -26,8 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.config import ExperimentConfig
     from repro.sim.topology import Topology
 
-#: Attack builders of type ``(Topology, ExperimentConfig, rng) ->
-#: AttackScenario``.  The composer schedules the returned scenario.
+#: Attack builders of type ``(Topology, ExperimentConfig, rng,
+#: **attack_args) -> AttackScenario`` — the config's ``attack_args``
+#: dict arrives as keyword arguments.  The composer schedules the
+#: returned scenario.
 ATTACKS: "Registry[Callable[..., AttackScenario]]" = Registry("attack")
 
 
@@ -145,21 +148,43 @@ def _scenario(
     config: "ExperimentConfig",
     rng,
     zombie: ZombieConfig,
+    **overrides,
 ) -> AttackScenario:
+    """Wire one scenario, routing ``attack_args`` overrides by name.
+
+    An override whose key is an :class:`AttackScenarioConfig` field
+    (``ingress_subset``, ``stop_time``, ...) lands there; a
+    :class:`ZombieConfig` field (``rate_bps``, ``jitter``, ...) replaces
+    the per-zombie behaviour.  Unknown keys raise TypeError.
+    """
+    scenario_fields = {f.name for f in dataclasses.fields(AttackScenarioConfig)}
+    zombie_fields = {f.name for f in dataclasses.fields(ZombieConfig)}
+    scenario_kwargs = dict(
+        n_zombies=config.n_zombies,
+        start_time=config.attack_start,
+    )
+    zombie_overrides = {}
+    for key, value in overrides.items():
+        if key == "zombie":
+            raise TypeError("override zombie fields directly, not 'zombie'")
+        if key in scenario_fields:
+            scenario_kwargs[key] = value
+        elif key in zombie_fields:
+            zombie_overrides[key] = value
+        else:
+            raise TypeError(f"unknown attack arg {key!r}")
+    if zombie_overrides:
+        zombie = dataclasses.replace(zombie, **zombie_overrides)
     return AttackScenario(
         topology,
-        AttackScenarioConfig(
-            n_zombies=config.n_zombies,
-            zombie=zombie,
-            start_time=config.attack_start,
-        ),
+        AttackScenarioConfig(zombie=zombie, **scenario_kwargs),
         victim_port=config.victim_port,
         rng=rng,
     )
 
 
 @ATTACKS.register("flood")
-def _build_flood(topology, config, rng) -> AttackScenario:
+def _build_flood(topology, config, rng, **overrides) -> AttackScenario:
     """Constant-rate UDP flood at R per zombie (Table II); honours the
     legacy ``pulsing_attack`` flag for exponential on-off bursts."""
     return _scenario(topology, config, rng, ZombieConfig(
@@ -169,11 +194,11 @@ def _build_flood(topology, config, rng) -> AttackScenario:
         pulsing=config.pulsing_attack,
         mean_on=config.pulse_on,
         mean_off=config.pulse_off,
-    ))
+    ), **overrides)
 
 
 @ATTACKS.register("pulsing", aliases=("on_off", "on-off"))
-def _build_pulsing(topology, config, rng) -> AttackScenario:
+def _build_pulsing(topology, config, rng, **overrides) -> AttackScenario:
     """Shrew-style on-off zombies: exponential bursts of ``pulse_on``
     mean seconds separated by ``pulse_off`` mean seconds of silence."""
     return _scenario(topology, config, rng, ZombieConfig(
@@ -183,11 +208,11 @@ def _build_pulsing(topology, config, rng) -> AttackScenario:
         pulsing=True,
         mean_on=config.pulse_on,
         mean_off=config.pulse_off,
-    ))
+    ), **overrides)
 
 
 @ATTACKS.register("pulse_train", aliases=("pulse-train", "square_wave"))
-def _build_pulse_train(topology, config, rng) -> AttackScenario:
+def _build_pulse_train(topology, config, rng, **overrides) -> AttackScenario:
     """Deterministic duty-cycled zombies: exactly ``pulse_on`` seconds on,
     ``pulse_off`` seconds off, probing MAFIC's verdict-timer weakness (a
     flow silent across its probe window is judged responsive)."""
@@ -199,4 +224,4 @@ def _build_pulse_train(topology, config, rng) -> AttackScenario:
         mean_on=config.pulse_on,
         mean_off=config.pulse_off,
         pulse_train=True,
-    ))
+    ), **overrides)

@@ -1,0 +1,73 @@
+"""Declarative experiment campaigns over a persistent run store.
+
+The paper's results are campaigns — multi-seed sweeps over attack
+intensity, topology shape, and defence parameters — not single runs.
+This package turns a TOML/JSON :class:`CampaignSpec` into a
+content-addressed plan of configs, executes it through the parallel
+batch runner with one JSON artifact per run, and makes the whole thing
+resumable, extensible, and queryable:
+
+    from repro.campaign import CampaignSpec, run_campaign, campaign_report
+
+    spec = CampaignSpec.load("pd-sweep.toml")
+    run_campaign(spec, jobs=8)          # crash-safe; re-run to resume
+    print(campaign_report(spec))        # per-point means with CIs
+"""
+
+from repro.campaign.orchestrator import (
+    DEFAULT_ROOT,
+    CampaignRunReport,
+    CampaignStatus,
+    campaign_status,
+    open_store,
+    run_campaign,
+)
+from repro.campaign.query import (
+    REPORT_METRICS,
+    aggregate_by_point,
+    campaign_report,
+    group_by_point,
+    load_runs,
+    report_rows,
+    runs_where,
+    to_sweep_result,
+)
+from repro.campaign.spec import (
+    AxisSpec,
+    CampaignSpec,
+    CampaignSpecError,
+    PlannedRun,
+)
+from repro.campaign.store import (
+    STORE_SCHEMA,
+    CampaignStore,
+    StoreCache,
+    StoredRun,
+    StoreError,
+)
+
+__all__ = [
+    "AxisSpec",
+    "CampaignRunReport",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CampaignStatus",
+    "CampaignStore",
+    "DEFAULT_ROOT",
+    "PlannedRun",
+    "REPORT_METRICS",
+    "STORE_SCHEMA",
+    "StoreCache",
+    "StoreError",
+    "StoredRun",
+    "aggregate_by_point",
+    "campaign_report",
+    "campaign_status",
+    "group_by_point",
+    "load_runs",
+    "open_store",
+    "report_rows",
+    "run_campaign",
+    "runs_where",
+    "to_sweep_result",
+]

@@ -1,0 +1,200 @@
+"""The ``python -m repro campaign`` subcommand family.
+
+::
+
+    python -m repro campaign run    spec.toml [--root DIR] [--jobs N]
+    python -m repro campaign resume spec.toml [--root DIR] [--jobs N]
+    python -m repro campaign status spec.toml [--root DIR]
+    python -m repro campaign report spec.toml [--json F] [--csv F]
+
+``run`` and ``resume`` are the same operation — plan, skip every run
+whose artifact exists, execute the rest — except that ``resume`` insists
+the store already exists (catching a mistyped ``--root`` before it
+silently recomputes everything).  ``status`` exits 0 only when the
+campaign is complete, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.campaign.orchestrator import (
+    DEFAULT_ROOT,
+    campaign_status,
+    open_store,
+    run_campaign,
+)
+from repro.campaign.query import campaign_report, report_rows
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import StoreError
+from repro.util.registry import UnknownComponentError
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``campaign`` subcommand to the top-level CLI."""
+    camp = sub.add_parser(
+        "campaign",
+        help="run, resume, inspect, and report experiment campaigns",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", help="campaign spec file (.toml or .json)")
+        p.add_argument(
+            "--root", default=DEFAULT_ROOT,
+            help=f"artifact store root (default: ./{DEFAULT_ROOT})",
+        )
+
+    for verb, help_text in (
+        ("run", "execute the campaign (skipping completed runs)"),
+        ("resume", "like run, but the store must already exist"),
+    ):
+        p = csub.add_parser(verb, help=help_text)
+        common(p)
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes (default: CPU count)",
+        )
+        p.add_argument(
+            "--max-runs", type=int, default=None, metavar="K",
+            help="execute at most K new runs this invocation",
+        )
+        p.add_argument(
+            "--wave", type=int, default=None, metavar="W",
+            help="artifacts are written after every W runs "
+            "(default: 4 x jobs)",
+        )
+
+    p = csub.add_parser(
+        "status", help="planned vs completed runs (exit 1 if incomplete)"
+    )
+    common(p)
+
+    p = csub.add_parser(
+        "report", help="aggregate completed runs per axis point"
+    )
+    common(p)
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the full report payload as JSON")
+    p.add_argument("--csv", default=None, metavar="FILE",
+                   help="write the per-point table as CSV")
+    p.add_argument("--confidence", type=float, default=0.95)
+
+
+def cmd(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``campaign`` invocation; returns the exit code."""
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (ValueError, TypeError, OSError) as exc:
+        # ValueError covers CampaignSpecError and malformed JSON/TOML;
+        # TypeError covers shape mistakes like a scalar `seeds`.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.campaign_command in ("run", "resume"):
+            return _cmd_run(spec, args)
+        if args.campaign_command == "status":
+            return _cmd_status(spec, args)
+        return _cmd_report(spec, args)
+    except (ValueError, TypeError, UnknownComponentError, StoreError) as exc:
+        # ValueError covers CampaignSpecError plus orchestrator argument
+        # validation (bad --wave/--max-runs); TypeError fires when a
+        # ``*_args`` axis names a kwarg its builder doesn't accept;
+        # UnknownComponentError (a KeyError) fires when a spec names a
+        # missing registry component.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    if args.campaign_command == "resume" and not open_store(spec, args.root).exists():
+        print(
+            f"error: no store for campaign {spec.name!r} under {args.root!r} "
+            "(use 'campaign run' to start one)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        print(f"  {done}/{total} new runs complete", flush=True)
+
+    report = run_campaign(
+        spec,
+        root=args.root,
+        jobs=args.jobs,
+        max_runs=args.max_runs,
+        wave_size=args.wave,
+        progress=progress,
+    )
+    state = "complete" if report.complete else "incomplete"
+    print(
+        f"campaign {report.name}: {report.planned} planned, "
+        f"{report.cached} cached, {report.executed} executed "
+        f"in {report.wall_seconds:.1f}s ({report.jobs} worker"
+        f"{'s' if report.jobs != 1 else ''}) -> {state}"
+    )
+    print(f"store: {report.store_dir}")
+    return 0
+
+
+def _cmd_status(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    status = campaign_status(spec, args.root)
+    print(
+        f"campaign {status.name}: {status.complete}/{status.planned} "
+        f"runs complete ({len(status.missing)} missing, "
+        f"{status.unplanned} unplanned artifacts)"
+    )
+    for run in status.missing[:10]:
+        point = ", ".join(f"{k}={v}" for k, v in run.point.items()) or "-"
+        print(f"  missing {run.run_id}  seed={run.seed}  {point}")
+    if len(status.missing) > 10:
+        print(f"  ... and {len(status.missing) - 10} more")
+    return 0 if status.is_complete else 1
+
+
+def _cmd_report(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    report = campaign_report(spec, args.root, confidence=args.confidence)
+    if not report["points"]:
+        print("no completed runs yet", file=sys.stderr)
+        return 1
+    rows = report_rows(report)
+
+    def fmt(cell) -> str:
+        return f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+
+    widths = [
+        max(len(fmt(row[i])) for row in rows) for i in range(len(rows[0]))
+    ]
+    for row in rows:
+        print("  ".join(fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    print(
+        f"\n{report['complete']}/{report['planned']} runs aggregated "
+        f"({100 * report['confidence']:.0f}% CI)"
+    )
+    if args.json:
+        from repro.analysis.export import write_json
+
+        write_json(report, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        from repro.analysis.export import write_rows_csv
+
+        write_rows_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    """Standalone entry point (mirrors ``python -m repro campaign``)."""
+    parser = argparse.ArgumentParser(prog="repro-campaign")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_parser(sub)
+    args = parser.parse_args(argv)
+    return cmd(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Campaign execution: plan -> skip cached -> run waves -> file artifacts.
+
+:func:`run_campaign` is deliberately dumb about parallelism — it feeds
+waves of missing configs to :func:`repro.experiments.parallel.run_batch`
+(the existing ProcessPoolExecutor fan-out) and files each wave's
+artifacts before starting the next.  Waves bound the work lost to a
+crash: a campaign killed mid-grid keeps every artifact from completed
+waves, and ``resume`` (the same call again) re-plans, skips every hash
+already on disk, and executes only the remainder.  Because each run is
+fully determined by its config, the union of artifacts from any
+interleaving of partial executions is bit-identical to one uninterrupted
+pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.spec import CampaignSpec, PlannedRun
+from repro.campaign.store import CampaignStore
+from repro.experiments.parallel import default_jobs, run_batch
+
+#: Default artifact root, relative to the working directory.
+DEFAULT_ROOT = "campaigns"
+
+
+@dataclass
+class CampaignRunReport:
+    """What one ``run``/``resume`` invocation did."""
+
+    name: str
+    store_dir: Path
+    planned: int
+    cached: int
+    executed: int
+    jobs: int
+    wall_seconds: float
+
+    @property
+    def complete(self) -> bool:
+        """True when every planned run now has an artifact."""
+        return self.cached + self.executed == self.planned
+
+
+@dataclass
+class CampaignStatus:
+    """How far along a campaign is, without running anything."""
+
+    name: str
+    store_dir: Path
+    planned: int
+    complete: int
+    missing: list[PlannedRun] = field(default_factory=list)
+    #: Artifacts on disk that the current spec no longer plans (stale
+    #: axis points, or runs from a previous spec revision).
+    unplanned: int = 0
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.missing
+
+
+def open_store(spec: CampaignSpec, root: str | Path = DEFAULT_ROOT) -> CampaignStore:
+    """The campaign's store directory under ``root``."""
+    return CampaignStore(Path(root) / spec.name)
+
+
+def campaign_status(
+    spec: CampaignSpec, root: str | Path = DEFAULT_ROOT
+) -> CampaignStatus:
+    """Compare the spec's plan against the artifacts on disk."""
+    store = open_store(spec, root)
+    plan = spec.plan()
+    on_disk = store.run_ids()
+    planned_ids = {run.run_id for run in plan}
+    missing = [run for run in plan if run.run_id not in on_disk]
+    return CampaignStatus(
+        name=spec.name,
+        store_dir=store.directory,
+        planned=len(plan),
+        complete=len(plan) - len(missing),
+        missing=missing,
+        unplanned=len(on_disk - planned_ids),
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    root: str | Path = DEFAULT_ROOT,
+    jobs: int | None = None,
+    series_bin_width: float = 0.05,
+    max_runs: int | None = None,
+    wave_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignRunReport:
+    """Execute (or resume) a campaign; returns what happened.
+
+    ``max_runs`` caps how many *new* runs execute this invocation (the
+    rest stay missing for a later resume — also the hook the tests use
+    to kill a campaign mid-grid deterministically).  ``wave_size``
+    bounds crash loss: artifacts are filed after every wave (default
+    4 x the worker count).  ``progress`` is called with (done, total)
+    missing-run counts after each wave.  ``series_bin_width`` is pinned
+    by the store's manifest on first execution; resuming with a
+    different value raises rather than mixing series resolutions.
+    """
+    started = time.perf_counter()
+    store = open_store(spec, root).ensure()
+    store.pin_series_bin_width(series_bin_width)
+    store.write_manifest(spec.to_dict(), series_bin_width=series_bin_width)
+
+    plan = spec.plan()
+    on_disk = store.run_ids()  # one readdir, not one stat() per run
+    missing = [run for run in plan if run.run_id not in on_disk]
+    cached = len(plan) - len(missing)
+    if max_runs is not None:
+        if max_runs < 0:
+            raise ValueError("max_runs must be >= 0")
+        missing = missing[:max_runs]
+
+    jobs = default_jobs() if jobs is None else int(jobs)
+    wave = wave_size if wave_size is not None else max(1, jobs * 4)
+    if wave < 1:
+        raise ValueError("wave_size must be >= 1")
+
+    executed = 0
+    for start in range(0, len(missing), wave):
+        wave_runs = missing[start : start + wave]
+        batch = run_batch(
+            [run.config for run in wave_runs],
+            jobs=jobs,
+            series_bin_width=series_bin_width,
+        )
+        for planned, result in zip(wave_runs, batch.results):
+            store.write_result(
+                result, point=planned.point,
+                series_bin_width=series_bin_width,
+            )
+            executed += 1
+        if progress is not None:
+            progress(executed, len(missing))
+
+    return CampaignRunReport(
+        name=spec.name,
+        store_dir=store.directory,
+        planned=len(plan),
+        cached=cached,
+        executed=executed,
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - started,
+    )

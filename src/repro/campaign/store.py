@@ -1,0 +1,337 @@
+"""The persistent, content-addressed campaign run store.
+
+Layout on disk (everything human-readable JSON)::
+
+    <root>/<campaign-name>/
+        manifest.json          # spec snapshot + schema version
+        runs/<run_id>.json     # one artifact per completed run
+
+``run_id`` is :meth:`ExperimentConfig.config_hash` — a truncated
+SHA-256 over the config's canonical JSON — so the same configuration
+always files under the same name, no matter which process, host, or
+campaign produced it.  That single property buys everything else:
+
+* **resume** — a run whose artifact exists is never re-executed;
+* **extension** — adding seeds or axis values to the spec leaves
+  existing artifacts valid and only the new hashes missing;
+* **dedup** — every spec revision of a campaign, and any ad-hoc batch
+  pointed at its store via :meth:`CampaignStore.as_cache`, reuses the
+  artifacts instead of recomputing (one store = one artifact per
+  distinct config, ever).
+
+Artifacts are written atomically (temp file + ``os.replace``), so a
+campaign killed mid-write never leaves a torn artifact behind — at
+worst the run is missing and re-executes on resume.  Every field that
+feeds reports is deterministic for a given config; wall-clock timing is
+quarantined under the ``"timing"`` key, which readers ignore, keeping
+resumed results bit-identical to uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.export import summary_from_dict, summary_to_dict
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.rates import MetricsSummary
+from repro.metrics.timeseries import BandwidthSeries
+
+#: Bump when the artifact layout changes incompatibly; readers reject
+#: artifacts from a different major schema.
+STORE_SCHEMA = 1
+
+
+class StoreError(RuntimeError):
+    """A store artifact that cannot be read back."""
+
+
+@dataclass
+class StoredRun:
+    """One run artifact loaded back from disk."""
+
+    run_id: str
+    config: ExperimentConfig
+    point: dict
+    summary: MetricsSummary
+    series: BandwidthSeries
+    series_bin_width: float | None
+    activation_time: float | None
+    identified_atrs: set[str]
+    true_atrs: set[str]
+    events_executed: int
+    wall_seconds: float
+
+    @property
+    def seed(self) -> int:
+        """The run's seed (a plain config field, surfaced for grouping)."""
+        return self.config.seed
+
+    def to_result(self) -> ExperimentResult:
+        """Rehydrate a detached :class:`ExperimentResult` (scenario=None)."""
+        return ExperimentResult(
+            config=self.config,
+            summary=self.summary,
+            series=self.series,
+            scenario=None,
+            activation_time=self.activation_time,
+            identified_atrs=set(self.identified_atrs),
+            true_atrs=set(self.true_atrs),
+            events_executed=self.events_executed,
+            wall_seconds=self.wall_seconds,
+        )
+
+
+class CampaignStore:
+    """Artifact store for one campaign directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.runs_dir = self.directory / "runs"
+
+    @property
+    def name(self) -> str:
+        """The campaign name (the directory's basename)."""
+        return self.directory.name
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def ensure(self) -> "CampaignStore":
+        """Create the directory skeleton; idempotent."""
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def exists(self) -> bool:
+        """True once :meth:`ensure` (or a previous run) created the store."""
+        return self.runs_dir.is_dir()
+
+    # ----------------------------------------------------------- manifest
+
+    def write_manifest(
+        self, spec_dict: dict, series_bin_width: float | None = None
+    ) -> Path:
+        """Snapshot the spec next to its artifacts (atomic)."""
+        payload = {"schema": STORE_SCHEMA, "spec": spec_dict}
+        if series_bin_width is not None:
+            payload["series_bin_width"] = series_bin_width
+        return self._write_json(self.manifest_path, payload)
+
+    def read_manifest(self) -> dict:
+        """The spec snapshot last written (raises if never written)."""
+        return self._read_manifest_payload()["spec"]
+
+    def series_bin_width(self) -> float | None:
+        """The bin width this store's artifacts were recorded at, or
+        ``None`` when no manifest (or an older one) exists."""
+        if not self.manifest_path.is_file():
+            return None
+        return self._read_manifest_payload().get("series_bin_width")
+
+    def pin_series_bin_width(self, width: float) -> None:
+        """Claim (or verify) the store-wide series resolution.
+
+        Every writer — campaign orchestrator or ad-hoc cache — goes
+        through this before filing artifacts, so one store can never
+        hold series at mixed resolutions: the first writer records the
+        width in the manifest and every later writer must match it.
+        """
+        recorded = self.series_bin_width()
+        if recorded is not None:
+            if recorded != width:
+                raise StoreError(
+                    f"store {self.directory} records series at bin width "
+                    f"{recorded}; writing at {width} would mix time "
+                    "resolutions — use the recorded width or a fresh store"
+                )
+            return
+        spec = (
+            self.read_manifest() if self.manifest_path.is_file() else {}
+        )
+        self.write_manifest(spec, series_bin_width=width)
+
+    def _read_manifest_payload(self) -> dict:
+        payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        self._check_schema(payload, self.manifest_path)
+        return payload
+
+    # --------------------------------------------------------------- runs
+
+    def run_path(self, run_id: str) -> Path:
+        return self.runs_dir / f"{run_id}.json"
+
+    def has(self, run_id: str) -> bool:
+        """True when the run's artifact exists (the resume predicate)."""
+        return self.run_path(run_id).is_file()
+
+    def run_ids(self) -> set[str]:
+        """Hashes of every artifact on disk."""
+        if not self.runs_dir.is_dir():
+            return set()
+        return {path.stem for path in self.runs_dir.glob("*.json")}
+
+    def write_result(
+        self,
+        result: ExperimentResult,
+        point: dict | None = None,
+        series_bin_width: float | None = None,
+    ) -> Path:
+        """File one run's artifact under its config hash (atomic).
+
+        ``point`` is advisory provenance (which grid cell produced the
+        artifact); query paths recompute cell membership from the
+        current spec's plan, so an artifact written without a point —
+        e.g. through :class:`StoreCache` — aggregates correctly anyway.
+        ``series_bin_width`` records the resolution the bandwidth series
+        was binned at, letting cache reads refuse mismatched hits.
+        """
+        run_id = result.config.config_hash()
+        series = result.series
+        payload = {
+            "schema": STORE_SCHEMA,
+            "run_id": run_id,
+            "config": result.config.to_dict(),
+            "point": dict(point or {}),
+            "summary": summary_to_dict(result.summary),
+            "activation_time": result.activation_time,
+            "identified_atrs": sorted(result.identified_atrs),
+            "true_atrs": sorted(result.true_atrs),
+            "events_executed": result.events_executed,
+            "series_bin_width": series_bin_width,
+            "series": {
+                "times": series.times,
+                "total_kbps": series.total_kbps,
+                "attack_kbps": series.attack_kbps,
+                "legit_kbps": series.legit_kbps,
+            },
+            # Non-deterministic measurements live here and ONLY here;
+            # reports never read this key.
+            "timing": {"wall_seconds": result.wall_seconds},
+        }
+        return self._write_json(self.run_path(run_id), payload)
+
+    def read_run(self, run_id: str, load_series: bool = True) -> StoredRun:
+        """Load one artifact back into a :class:`StoredRun`.
+
+        ``load_series=False`` skips materializing the bandwidth-series
+        lists for summary-only consumers like
+        :func:`repro.campaign.query.campaign_report`.  (The JSON is
+        still parsed whole; moving the series to sidecar files so
+        summary readers never touch it is a ROADMAP candidate for
+        very large grids.)
+        """
+        path = self.run_path(run_id)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(
+                f"no artifact for run {run_id!r} in {self.runs_dir}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt artifact {path}: {exc}") from exc
+        self._check_schema(payload, path)
+        config = ExperimentConfig.from_dict(payload["config"])
+        if config.config_hash() != payload["run_id"]:
+            raise StoreError(
+                f"artifact {path} config no longer hashes to its run_id "
+                "(edited by hand, or written by an incompatible version?)"
+            )
+        if load_series:
+            series_payload = payload["series"]
+            series = BandwidthSeries(
+                times=list(series_payload["times"]),
+                total_kbps=list(series_payload["total_kbps"]),
+                attack_kbps=list(series_payload["attack_kbps"]),
+                legit_kbps=list(series_payload["legit_kbps"]),
+            )
+        else:
+            series = BandwidthSeries(
+                times=[], total_kbps=[], attack_kbps=[], legit_kbps=[]
+            )
+        return StoredRun(
+            run_id=payload["run_id"],
+            config=config,
+            point=dict(payload["point"]),
+            summary=summary_from_dict(payload["summary"]),
+            series=series,
+            series_bin_width=payload.get("series_bin_width"),
+            activation_time=payload["activation_time"],
+            identified_atrs=set(payload["identified_atrs"]),
+            true_atrs=set(payload["true_atrs"]),
+            events_executed=payload["events_executed"],
+            wall_seconds=payload["timing"]["wall_seconds"],
+        )
+
+    def iter_runs(self) -> Iterator[StoredRun]:
+        """Every artifact, in run-id order (deterministic)."""
+        for run_id in sorted(self.run_ids()):
+            yield self.read_run(run_id)
+
+    def as_cache(self, series_bin_width: float = 0.05) -> "StoreCache":
+        """Adapter for :func:`repro.experiments.parallel.run_batch`'s
+        ``cache`` protocol — store-backed sweeps/batches for free.
+
+        ``series_bin_width`` must match the batch's: artifacts recorded
+        at a different bin width (or with no record of one) are treated
+        as misses and re-run, so a cache-hit batch never mixes series
+        resolutions.
+        """
+        return StoreCache(self, series_bin_width=series_bin_width)
+
+    # ------------------------------------------------------------ helpers
+
+    def _write_json(self, path: Path, payload: dict) -> Path:
+        """Atomic JSON write: temp file in the same directory + replace."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True, allow_nan=False)
+            f.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _check_schema(payload: dict, path: Path) -> None:
+        schema = payload.get("schema")
+        if schema != STORE_SCHEMA:
+            raise StoreError(
+                f"{path}: store schema {schema!r} != supported {STORE_SCHEMA}"
+            )
+
+
+class StoreCache:
+    """``run_batch(cache=...)`` protocol over a :class:`CampaignStore`.
+
+    ``get`` returns the rehydrated result for a config whose artifact
+    exists *and* was recorded at this cache's series bin width (else
+    None — a mismatched-resolution artifact re-runs rather than mixing
+    time resolutions into one batch); ``put`` files a freshly computed
+    result.
+    """
+
+    def __init__(
+        self, store: CampaignStore, series_bin_width: float = 0.05
+    ) -> None:
+        self.store = store.ensure()
+        # Refuses a width the store's manifest already pins differently,
+        # so an ad-hoc batch can't silently rewrite a campaign's
+        # artifacts at another resolution.
+        self.store.pin_series_bin_width(series_bin_width)
+        self.series_bin_width = series_bin_width
+
+    def get(self, config: ExperimentConfig) -> ExperimentResult | None:
+        run_id = config.config_hash()
+        if not self.store.has(run_id):
+            return None
+        run = self.store.read_run(run_id)
+        if run.series_bin_width != self.series_bin_width:
+            return None
+        return run.to_result()
+
+    def put(self, result: ExperimentResult) -> None:
+        self.store.write_result(result, series_bin_width=self.series_bin_width)

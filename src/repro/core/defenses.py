@@ -48,9 +48,11 @@ class DefenseContext:
     trace: "EventTrace"
 
 
-#: Defence builders of type ``(DefenseContext) -> dict[str, MaficAgent]``
-#: (one agent per ingress it defends; empty for the undefended control).
-DEFENSES: "Registry[Callable[[DefenseContext], dict[str, MaficAgent]]]" = (
+#: Defence builders of type ``(DefenseContext, **defense_args) ->
+#: dict[str, MaficAgent]`` (one agent per ingress it defends; empty for
+#: the undefended control).  The config's ``defense_args`` dict arrives
+#: as keyword arguments.
+DEFENSES: "Registry[Callable[..., dict[str, MaficAgent]]]" = (
     Registry("defense")
 )
 
@@ -139,14 +141,21 @@ def _build_none(ctx: DefenseContext) -> dict[str, MaficAgent]:
 
 
 @DEFENSES.register("red_rate_limit", aliases=("red-rate-limit", "red"))
-def _build_red_rate_limit(ctx: DefenseContext) -> dict[str, MaficAgent]:
+def _build_red_rate_limit(
+    ctx: DefenseContext,
+    min_thresh: float | None = None,
+    max_thresh: float | None = None,
+) -> dict[str, MaficAgent]:
     """RED on the ingress uplinks plus aggregate rate limiting: early
     random drops shave standing queues while the token bucket caps the
     victim-bound aggregate — the classic queueing-level answer, kept as
-    a baseline against MAFIC's per-flow verdicts."""
+    a baseline against MAFIC's per-flow verdicts.  ``defense_args`` may
+    pin the RED thresholds instead of the capacity-derived defaults."""
     capacity = ctx.config.queue_capacity
-    min_thresh = max(2.0, 0.05 * capacity)
-    max_thresh = max(min_thresh * 3.0, 0.25 * capacity)
+    if min_thresh is None:
+        min_thresh = max(2.0, 0.05 * capacity)
+    if max_thresh is None:
+        max_thresh = max(min_thresh * 3.0, 0.25 * capacity)
     for name in ctx.topology.ingress_names:
         ctx.topology.ingress_uplink(name).queue = REDQueue(
             capacity=capacity,

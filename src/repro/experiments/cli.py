@@ -7,6 +7,7 @@ Usage::
     python -m repro run --list-presets
     python -m repro run --list {topologies,workloads,attacks,defenses,all}
     python -m repro figure fig3a [--scale S] [--out FILE]
+    python -m repro campaign run|resume|status|report spec.toml
     python -m repro list
 
 ``run`` executes one scenario and prints the metric report card;
@@ -22,6 +23,7 @@ import argparse
 import sys
 
 from repro.attacks.scenarios import ATTACKS
+from repro.campaign import cli as campaign_cli
 from repro.core.defenses import DEFENSES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
@@ -99,6 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sweep resolution (0-1]; smaller = faster")
     fig_p.add_argument("--out", type=str, default=None,
                        help="write the data table to this file")
+
+    campaign_cli.add_parser(sub)
 
     sub.add_parser("list", help="list the available figures")
     sub.add_parser("presets", help="list the named experiment presets")
@@ -250,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "campaign":
+        return campaign_cli.cmd(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "presets":

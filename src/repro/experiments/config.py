@@ -14,6 +14,9 @@ N = 40 routers.  Two interpretation notes (also in DESIGN.md):
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
@@ -121,6 +124,14 @@ class ExperimentConfig:
     topology: TopologyKind | str = TopologyKind.TRANSIT_STUB
     workload: str = "paper_static"
     attack: str = "flood"
+    # Per-component keyword arguments, forwarded verbatim to the chosen
+    # builder by the scenario composer (``build_multi_tier_domain``'s
+    # ``n_agg``, an attack's ``ingress_subset``, ...).  Keys a builder
+    # does not accept raise TypeError at build time, naming the builder.
+    topology_args: dict = field(default_factory=dict)
+    workload_args: dict = field(default_factory=dict)
+    attack_args: dict = field(default_factory=dict)
+    defense_args: dict = field(default_factory=dict)
 
     # ---- Topology -------------------------------------------------------
     core_bandwidth_bps: float = 622e6
@@ -173,6 +184,12 @@ class ExperimentConfig:
         self.workload = _component_name(WORKLOADS, self.workload)
         self.attack = _component_name(ATTACKS, self.attack)
         self.defense = _component_name(DEFENSES, self.defense, DefenseKind)
+        for label in ("topology_args", "workload_args", "attack_args", "defense_args"):
+            value = getattr(self, label)
+            if not isinstance(value, dict) or any(
+                not isinstance(key, str) for key in value
+            ):
+                raise ValueError(f"{label} must be a dict with string keys")
         if self.total_flows < 1:
             raise ValueError("total_flows must be >= 1")
         check_fraction("tcp_fraction", self.tcp_fraction)
@@ -229,3 +246,78 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **kwargs)
+
+    # ---- Canonical serialization / content addressing --------------------
+    #
+    # The campaign store keys run artifacts by a *stable* hash of the
+    # full configuration: the same config must hash identically across
+    # processes, platforms, and repo checkouts, so the hash is computed
+    # over a canonical JSON form (sorted keys, no whitespace, enums as
+    # their values) rather than over pickle or repr.
+
+    def to_dict(self) -> dict:
+        """A canonical, JSON-friendly dict of every field (recursive)."""
+        return _canonical_value(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Nested component configs (``mafic``, ``pushback``, ``spoofing``)
+        are reconstructed into their dataclasses; missing keys fall back
+        to field defaults, so artifacts written by older configs load
+        under newer ones.
+        """
+        kwargs = dict(data)
+        if isinstance(kwargs.get("mafic"), dict):
+            kwargs["mafic"] = MaficConfig(**kwargs["mafic"])
+        if isinstance(kwargs.get("pushback"), dict):
+            kwargs["pushback"] = PushbackPolicyConfig(**kwargs["pushback"])
+        if isinstance(kwargs.get("spoofing"), dict):
+            spoofing = dict(kwargs["spoofing"])
+            spoofing["mode"] = SpoofMode(spoofing["mode"])
+            kwargs["spoofing"] = SpoofingModel(**spoofing)
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Whitespace-free, key-sorted JSON — the hashing pre-image."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+
+    def config_hash(self) -> str:
+        """A 16-hex-digit content hash identifying this exact config.
+
+        SHA-256 over :meth:`canonical_json`, truncated to 64 bits —
+        plenty for store keys (collision odds at a million runs are
+        ~1e-8) while keeping file names short.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+
+def _canonical_value(value):
+    """Recursively convert config values into JSON-canonical form."""
+    if isinstance(value, Enum):
+        return _canonical_value(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"config dict keys must be str, got {key!r}")
+            out[key] = _canonical_value(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"config field value {value!r} ({type(value).__name__}) is not "
+        "canonically serializable"
+    )

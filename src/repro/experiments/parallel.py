@@ -32,11 +32,26 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.util.stats import RunningStats
+
+class ResultCache(Protocol):
+    """What :func:`run_batch`'s ``cache`` argument must provide.
+
+    :meth:`repro.campaign.store.CampaignStore.as_cache` is the canonical
+    implementation; any get/put pair with these shapes works.
+    """
+
+    def get(self, config: ExperimentConfig) -> ExperimentResult | None:
+        """The stored result for ``config``, or None to run it."""
+        ...
+
+    def put(self, result: ExperimentResult) -> None:
+        """Persist a freshly computed result."""
+        ...
 
 #: MetricsSummary fields folded into per-chunk partials (the paper's five
 #: headline rates).
@@ -132,6 +147,7 @@ def run_batch(
     jobs: int | None = None,
     series_bin_width: float = 0.05,
     chunks_per_job: int = 2,
+    cache: "ResultCache | None" = None,
 ) -> BatchResult:
     """Run every config and fold the headline metrics.
 
@@ -140,36 +156,87 @@ def run_batch(
     controls load balancing: more chunks per worker smooths out uneven
     run times at slightly higher pickling overhead.  Results come back in
     input order and are identical to a serial run of the same configs.
+
+    ``cache`` makes the batch store-aware: any object with
+    ``get(config) -> ExperimentResult | None`` and ``put(result)`` —
+    e.g. ``CampaignStore.as_cache()`` — is consulted before running and
+    fed every fresh result.  Cached configs never reach a worker, and
+    because a run is fully determined by its config, a cache-hit batch
+    is bit-identical (summaries, series, counters) to a cold one; with a
+    cache present the metric stats are folded sequentially in input
+    order, so they don't depend on which runs happened to be cached.
     """
     if not configs:
         raise ValueError("configs must be non-empty")
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    jobs = min(jobs, len(configs))
+    if cache is not None:
+        cache_width = getattr(cache, "series_bin_width", None)
+        if cache_width is not None and cache_width != series_bin_width:
+            raise ValueError(
+                f"cache records series at bin width {cache_width} but this "
+                f"batch bins at {series_bin_width}; build the cache with "
+                "as_cache(series_bin_width=...) to match"
+            )
 
     started = time.perf_counter()
-    slices = _chunk_slices(len(configs), jobs * max(1, chunks_per_job))
-    if jobs == 1:
-        outputs = [
-            _run_chunk(i, list(configs[start:stop]), series_bin_width)
-            for i, (start, stop) in enumerate(slices)
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_run_chunk, i, list(configs[start:stop]), series_bin_width)
+
+    cached: dict[int, ExperimentResult] = {}
+    if cache is not None:
+        for i, config in enumerate(configs):
+            hit = cache.get(config)
+            if hit is not None:
+                cached[i] = hit
+    fresh_indices = [i for i in range(len(configs)) if i not in cached]
+    fresh_configs = [configs[i] for i in fresh_indices]
+
+    outputs: list[_ChunkOutput] = []
+    slices: list[tuple[int, int]] = []
+    if fresh_configs:
+        jobs = min(jobs, len(fresh_configs))
+        slices = _chunk_slices(len(fresh_configs), jobs * max(1, chunks_per_job))
+        if jobs == 1:
+            outputs = [
+                _run_chunk(i, list(fresh_configs[start:stop]), series_bin_width)
                 for i, (start, stop) in enumerate(slices)
             ]
-            outputs = [future.result() for future in futures]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _run_chunk, i, list(fresh_configs[start:stop]),
+                        series_bin_width,
+                    )
+                    for i, (start, stop) in enumerate(slices)
+                ]
+                outputs = [future.result() for future in futures]
+        outputs.sort(key=lambda out: out.index)
 
-    outputs.sort(key=lambda out: out.index)
-    results: list[ExperimentResult] = []
-    merged = {name: RunningStats() for name in METRIC_NAMES}
+    fresh_results: list[ExperimentResult] = []
     for out in outputs:
-        results.extend(out.results)
-        for name, partial in out.partials.items():
-            merged[name] = merged[name].merge(partial)
+        fresh_results.extend(out.results)
+    if cache is not None:
+        for result in fresh_results:
+            cache.put(result)
+
+    results: list[ExperimentResult] = [None] * len(configs)  # type: ignore[list-item]
+    for i, result in cached.items():
+        results[i] = result
+    for i, result in zip(fresh_indices, fresh_results):
+        results[i] = result
+
+    merged = {name: RunningStats() for name in METRIC_NAMES}
+    if cache is None:
+        for out in outputs:
+            for name, partial in out.partials.items():
+                merged[name] = merged[name].merge(partial)
+    else:
+        # Fold sequentially in input order: the same float-op order no
+        # matter which subset came from the cache.
+        for result in results:
+            for name in METRIC_NAMES:
+                merged[name].update(getattr(result.summary, name))
     return BatchResult(
         results=results,
         stats=merged,
@@ -184,10 +251,12 @@ def run_seeds_parallel(
     seeds: Iterable[int],
     jobs: int | None = None,
     series_bin_width: float = 0.05,
+    cache: ResultCache | None = None,
 ) -> BatchResult:
     """Multi-seed batch: ``config`` once per seed, fanned across workers."""
     return run_batch(
         seed_configs(config, seeds),
         jobs=jobs,
         series_bin_width=series_bin_width,
+        cache=cache,
     )

@@ -5,7 +5,9 @@ registries — :data:`~repro.sim.topology.TOPOLOGIES`,
 :data:`~repro.experiments.workload.WORKLOADS`,
 :data:`~repro.attacks.scenarios.ATTACKS`, and
 :data:`~repro.core.defenses.DEFENSES`.  It looks each component up by
-the name in :class:`ExperimentConfig`, builds them in a fixed order
+the name in :class:`ExperimentConfig` (forwarding the per-component
+``*_args`` dicts as builder keyword arguments), builds them in a fixed
+order
 (topology, sinks, workload, attack, filtering, counting, defence,
 control plane), and wires the invariant substrate: LogLog counters at
 every ingress uplink and the victim access link, the TrafficMonitor
@@ -77,7 +79,7 @@ class BuiltScenario:
 def build_scenario(config: ExperimentConfig) -> BuiltScenario:
     """Assemble a full scenario from one config (does not run it)."""
     rngs = RngRegistry(config.seed)
-    topology = TOPOLOGIES.get(config.topology)(config)
+    topology = TOPOLOGIES.get(config.topology)(config, **config.topology_args)
     sim = topology.sim
     trace = EventTrace(
         enabled=config.trace_enabled, max_records=config.trace_max_records
@@ -93,12 +95,15 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
 
     # ---------------------------------------------------- legitimate flows
     workload = WORKLOADS.get(config.workload)(
-        WorkloadContext(topology=topology, config=config, rngs=rngs)
+        WorkloadContext(topology=topology, config=config, rngs=rngs),
+        **config.workload_args,
     )
     flow_truth: dict[int, FlowTruth] = dict(workload.flow_truth)
 
     # -------------------------------------------------------------- attack
-    attack = ATTACKS.get(config.attack)(topology, config, rngs.stream("attack"))
+    attack = ATTACKS.get(config.attack)(
+        topology, config, rngs.stream("attack"), **config.attack_args
+    )
     attack.schedule()
     for flow_hash in attack.attack_flow_hashes():
         flow_truth[flow_hash] = FlowTruth.ATTACK
@@ -133,7 +138,8 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
             rngs=rngs,
             collector=defense_collector,
             trace=trace,
-        )
+        ),
+        **config.defense_args,
     )
 
     # ------------------------------------------------- detection control

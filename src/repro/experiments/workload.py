@@ -59,8 +59,11 @@ class WorkloadBuild:
     finalize: "Callable[[BuiltScenario], None] | None" = None
 
 
-#: Workload builders of type ``(WorkloadContext) -> WorkloadBuild``.
-WORKLOADS: "Registry[Callable[[WorkloadContext], WorkloadBuild]]" = Registry(
+#: Workload builders of type ``(WorkloadContext, **workload_args) ->
+#: WorkloadBuild`` — the config's ``workload_args`` dict arrives as
+#: keyword arguments (``web_mice`` forwards them as
+#: :class:`DynamicWorkloadConfig` overrides).
+WORKLOADS: "Registry[Callable[..., WorkloadBuild]]" = Registry(
     "workload"
 )
 
@@ -123,15 +126,21 @@ def build_paper_static(ctx: WorkloadContext) -> WorkloadBuild:
 
 
 @WORKLOADS.register("web_mice", aliases=("web-mice", "mice"))
-def build_web_mice(ctx: WorkloadContext) -> WorkloadBuild:
+def build_web_mice(ctx: WorkloadContext, **overrides) -> WorkloadBuild:
     """The static workload plus Poisson web mice: churning short TCP
-    transfers whose completion times surface MAFIC's latency cost."""
+    transfers whose completion times surface MAFIC's latency cost.
+
+    ``workload_args`` keys override :class:`DynamicWorkloadConfig`
+    fields (``arrival_rate``, ``mean_segments``, ...).
+    """
     build = build_paper_static(ctx)
+    params = dict(
+        tcp_max_cwnd=ctx.config.tcp_max_cwnd,
+        packet_size=ctx.config.packet_size,
+    )
+    params.update(overrides)
     mice = DynamicWorkload(
-        DynamicWorkloadConfig(
-            tcp_max_cwnd=ctx.config.tcp_max_cwnd,
-            packet_size=ctx.config.packet_size,
-        ),
+        DynamicWorkloadConfig(**params),
         rng=ctx.rngs.stream("workload", "mice"),
     )
 

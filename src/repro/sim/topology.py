@@ -42,10 +42,12 @@ from repro.util.registry import Registry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.config import ExperimentConfig
 
-#: Experiment topologies: builders of type ``(ExperimentConfig) ->
-#: Topology``.  ``meta`` keys in use: ``hops_one_way`` (router hops from
-#: a source host to the victim, read by the feasibility validator's RTT
-#: estimate).
+#: Experiment topologies: builders of type ``(ExperimentConfig,
+#: **topology_args) -> Topology`` — the config's ``topology_args`` dict
+#: arrives as keyword arguments (the built-ins forward them as generator
+#: overrides, e.g. ``n_agg`` for ``multi_tier``).  ``meta`` keys in use:
+#: ``hops_one_way`` (router hops from a source host to the victim, read
+#: by the feasibility validator's RTT estimate).
 TOPOLOGIES: "Registry[Callable[[ExperimentConfig], Topology]]" = Registry(
     "topology"
 )
@@ -543,34 +545,38 @@ def _common_link_kwargs(config: "ExperimentConfig") -> dict:
 
 
 @TOPOLOGIES.register("star", hops_one_way=2)
-def _star_from_config(config: "ExperimentConfig") -> Topology:
+def _star_from_config(config: "ExperimentConfig", **overrides) -> Topology:
     """Ingresses star-connected straight to the victim's last-hop router."""
-    return build_star_domain(
+    params = dict(
         n_ingress=max(1, config.n_routers - 1), **_common_link_kwargs(config)
     )
+    params.update(overrides)
+    return build_star_domain(**params)
 
 
 @TOPOLOGIES.register("tree", hops_one_way=3)
-def _tree_from_config(config: "ExperimentConfig") -> Topology:
+def _tree_from_config(config: "ExperimentConfig", **overrides) -> Topology:
     """Balanced router tree; leaves are ingresses, the victim at the root."""
     # Pick fanout 3 and the depth that reaches roughly n_routers.
     fanout = 3
     depth = max(1, round(math.log(max(3, config.n_routers), fanout)) - 0)
-    return build_tree_domain(
+    params = dict(
         depth=min(3, depth), fanout=fanout, **_common_link_kwargs(config)
     )
+    params.update(overrides)
+    return build_tree_domain(**params)
 
 
 @TOPOLOGIES.register("transit_stub", aliases=("transit-stub",), hops_one_way=4)
-def _transit_stub_from_config(config: "ExperimentConfig") -> Topology:
+def _transit_stub_from_config(config: "ExperimentConfig", **overrides) -> Topology:
     """Transit ring core with stub ingresses; honours n_routers exactly."""
-    return build_transit_stub_domain(
-        n_routers=config.n_routers, **_common_link_kwargs(config)
-    )
+    params = dict(n_routers=config.n_routers, **_common_link_kwargs(config))
+    params.update(overrides)
+    return build_transit_stub_domain(**params)
 
 
 @TOPOLOGIES.register("multi_tier", aliases=("multi-tier",), hops_one_way=4)
-def _multi_tier_from_config(config: "ExperimentConfig") -> Topology:
+def _multi_tier_from_config(config: "ExperimentConfig", **overrides) -> Topology:
     """Two ingress tiers behind aggregation routers (ATRs at two depths)."""
     # Split n_routers across aggregation subtrees, each one relay plus
     # mid/leaf ingresses in a ~1:2 ratio.  Router count comes out at
@@ -582,10 +588,12 @@ def _multi_tier_from_config(config: "ExperimentConfig") -> Topology:
     budget = per_agg - 1  # one relay per subtree
     mids = max(1, budget // 3)
     leaves = max(1, budget - mids)
-    return build_multi_tier_domain(
+    params = dict(
         n_agg=n_agg,
         mids_per_agg=mids,
         relays_per_agg=1,
         leaves_per_relay=leaves,
         **_common_link_kwargs(config),
     )
+    params.update(overrides)
+    return build_multi_tier_domain(**params)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the campaign tests: tiny, fast grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.rates import MetricsSummary
+from repro.metrics.timeseries import BandwidthSeries
+
+#: Small enough that one run takes a fraction of a second.
+TINY_BASE = {
+    "total_flows": 8,
+    "n_routers": 6,
+    "duration": 1.4,
+    "attack_start": 1.05,
+    "topology": "star",
+}
+
+
+def tiny_spec(name: str = "tiny", seeds=(1, 2), axes=None, base=None) -> CampaignSpec:
+    """A 2-seed campaign over small axes (4 runs by default)."""
+    merged = dict(TINY_BASE)
+    merged.update(base or {})
+    return CampaignSpec(
+        name=name,
+        seeds=tuple(seeds),
+        base=merged,
+        axes=tuple(
+            axes
+            if axes is not None
+            else [{"field": "attack_fraction", "values": (0.25, 0.5)}]
+        ),
+    )
+
+
+def fabricate_result(config: ExperimentConfig) -> ExperimentResult:
+    """A deterministic fake result for store/query tests (no simulation).
+
+    Metric values are simple functions of the config so assertions can
+    predict aggregates exactly.
+    """
+    seed = config.seed
+    summary = MetricsSummary(
+        accuracy=0.90 + 0.01 * seed,
+        traffic_reduction=0.80,
+        false_positive_rate=0.0,
+        false_negative_rate=0.10 - 0.01 * seed,
+        legit_drop_rate=0.02 * seed,
+        attack_examined=100 * seed,
+        attack_dropped=90 * seed,
+        wellbehaved_examined=50,
+        wellbehaved_dropped=1,
+        wellbehaved_pdt_drops=1,
+        total_examined=100 * seed + 50,
+        victim_rate_before_bps=1e6,
+        victim_rate_after_bps=2e5,
+    )
+    series = BandwidthSeries(
+        times=[0.5, 1.5],
+        total_kbps=[100.0, 40.0 + seed],
+        attack_kbps=[60.0, 10.0],
+        legit_kbps=[40.0, 30.0 + seed],
+    )
+    return ExperimentResult(
+        config=config,
+        summary=summary,
+        series=series,
+        scenario=None,
+        activation_time=1.25,
+        identified_atrs={"ingress0"},
+        true_atrs={"ingress0", "ingress1"},
+        events_executed=1000 + seed,
+        wall_seconds=0.123,
+    )
+
+
+@pytest.fixture
+def spec() -> CampaignSpec:
+    return tiny_spec()

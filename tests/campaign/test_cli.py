@@ -1,0 +1,141 @@
+"""Tests for ``python -m repro campaign ...`` through the real CLI main."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+SPEC_TOML = """\
+name = "cli-tiny"
+seeds = [1]
+
+[base]
+total_flows = 8
+n_routers = 6
+duration = 1.4
+attack_start = 1.05
+topology = "star"
+
+[[axes]]
+field = "attack_fraction"
+values = [0.5]
+"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SPEC_TOML)
+    return path
+
+
+def test_status_incomplete_exits_nonzero(tmp_path, spec_path, capsys):
+    code = main(
+        ["campaign", "status", str(spec_path), "--root", str(tmp_path / "s")]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "0/1 runs complete" in out
+    assert "missing" in out
+
+
+def test_run_then_status_and_report(tmp_path, spec_path, capsys):
+    root = str(tmp_path / "s")
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "1 planned, 0 cached, 1 executed" in out
+
+    assert main(["campaign", "status", str(spec_path), "--root", root]) == 0
+
+    json_out = tmp_path / "report.json"
+    csv_out = tmp_path / "report.csv"
+    assert main(["campaign", "report", str(spec_path), "--root", root,
+                 "--json", str(json_out), "--csv", str(csv_out)]) == 0
+    payload = json.loads(json_out.read_text())
+    assert payload["campaign"] == "cli-tiny"
+    assert payload["complete"] == 1
+    assert csv_out.read_text().splitlines()[0].startswith("attack_fraction")
+
+    # Re-run: everything cached.
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "1 cached, 0 executed" in out
+
+
+def test_resume_requires_existing_store(tmp_path, spec_path, capsys):
+    code = main(
+        ["campaign", "resume", str(spec_path), "--root", str(tmp_path / "no")]
+    )
+    assert code == 2
+    assert "no store" in capsys.readouterr().err
+
+
+def test_report_without_runs_fails(tmp_path, spec_path, capsys):
+    code = main(
+        ["campaign", "report", str(spec_path), "--root", str(tmp_path / "no")]
+    )
+    assert code == 1
+    assert "no completed runs" in capsys.readouterr().err
+
+
+def test_corrupt_artifact_reports_cleanly(tmp_path, spec_path, capsys):
+    """A torn/hand-edited artifact gets the 'error:' contract, not a
+    traceback."""
+    root = str(tmp_path / "s")
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    capsys.readouterr()
+    artifact = next((tmp_path / "s" / "cli-tiny" / "runs").glob("*.json"))
+    artifact.write_text("{torn")
+    code = main(["campaign", "report", str(spec_path), "--root", root])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_broken_spec_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('name = "x"\nseeds = []\n')
+    assert main(["campaign", "run", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_scalar_seeds_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "seeds": 5}')
+    assert main(["campaign", "run", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_component_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text(
+        'name = "x"\nseeds = [1]\n\n[base]\ntopology = "moebius"\n'
+    )
+    code = main(["campaign", "status", str(bad),
+                 "--root", str(tmp_path / "s")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "moebius" in err
+
+
+def test_unknown_builder_arg_exits_2(tmp_path, capsys):
+    bad = tmp_path / "badarg.toml"
+    bad.write_text(
+        'name = "x"\nseeds = [1]\n\n[base]\ntotal_flows = 8\n'
+        'n_routers = 6\nduration = 1.4\ntopology = "star"\n\n'
+        '[[axes]]\nfield = "topology_args.warp_factor"\nvalues = [9]\n'
+    )
+    code = main(["campaign", "run", str(bad),
+                 "--root", str(tmp_path / "s"), "--jobs", "1"])
+    assert code == 2
+    assert "warp_factor" in capsys.readouterr().err
+
+
+def test_bad_wave_exits_2(tmp_path, spec_path, capsys):
+    code = main(["campaign", "run", str(spec_path),
+                 "--root", str(tmp_path / "s"), "--wave", "0"])
+    assert code == 2
+    assert "wave_size" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Tests for repro.campaign.orchestrator: execution, resume, determinism.
+
+The acceptance property for the subsystem lives here: a campaign killed
+mid-grid and resumed produces per-run summaries and aggregated exports
+bit-identical to one uninterrupted execution, and resuming a complete
+campaign executes zero runs.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.orchestrator import campaign_status, open_store, run_campaign
+from repro.campaign.query import campaign_report
+
+from tests.campaign.conftest import tiny_spec
+
+
+class TestRunCampaign:
+    def test_executes_the_whole_plan(self, tmp_path, spec):
+        report = run_campaign(spec, root=tmp_path, jobs=1)
+        assert report.planned == 4
+        assert report.executed == 4
+        assert report.cached == 0
+        assert report.complete
+        store = open_store(spec, tmp_path)
+        assert store.run_ids() == {run.run_id for run in spec.plan()}
+        assert store.read_manifest() == spec.to_dict()
+
+    def test_artifacts_carry_axis_points(self, tmp_path, spec):
+        run_campaign(spec, root=tmp_path, jobs=1)
+        store = open_store(spec, tmp_path)
+        points = [run.point for run in store.iter_runs()]
+        assert {p["attack_fraction"] for p in points} == {0.25, 0.5}
+
+    def test_max_runs_caps_new_executions(self, tmp_path, spec):
+        report = run_campaign(spec, root=tmp_path, jobs=1, max_runs=3)
+        assert report.executed == 3
+        assert not report.complete
+        status = campaign_status(spec, tmp_path)
+        assert status.complete == 3
+        assert len(status.missing) == 1
+
+    def test_progress_callback_sees_waves(self, tmp_path, spec):
+        seen = []
+        run_campaign(
+            spec, root=tmp_path, jobs=1, wave_size=1,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_bad_max_runs_rejected(self, tmp_path, spec):
+        with pytest.raises(ValueError, match="max_runs"):
+            run_campaign(spec, root=tmp_path, jobs=1, max_runs=-1)
+
+    def test_resume_at_other_bin_width_rejected(self, tmp_path, spec):
+        """The manifest pins series_bin_width: a mismatched resume would
+        mix time resolutions across artifacts, so it refuses."""
+        from repro.campaign.store import StoreError
+
+        run_campaign(spec, root=tmp_path, jobs=1, max_runs=1)
+        with pytest.raises(StoreError, match="bin width"):
+            run_campaign(spec, root=tmp_path, jobs=1, series_bin_width=0.2)
+        # The recorded width resumes fine.
+        assert run_campaign(spec, root=tmp_path, jobs=1).complete
+
+
+class TestResumeDeterminism:
+    def test_interrupted_resume_is_bit_identical(self, tmp_path):
+        """Kill mid-grid, resume, compare against one uninterrupted pass."""
+        spec = tiny_spec(name="interrupted")
+
+        # Reference: a single uninterrupted execution in its own root.
+        ref_root = tmp_path / "ref"
+        run_campaign(spec, root=ref_root, jobs=1)
+
+        # Interrupted: stop after 2 of 4 runs, then resume.
+        cut_root = tmp_path / "cut"
+        first = run_campaign(spec, root=cut_root, jobs=1, max_runs=2)
+        assert (first.executed, first.complete) == (2, False)
+        second = run_campaign(spec, root=cut_root, jobs=1)
+        assert second.cached == 2
+        assert second.executed == 2
+        assert second.complete
+
+        ref_store = open_store(spec, ref_root)
+        cut_store = open_store(spec, cut_root)
+        for planned in spec.plan():
+            ref_artifact = ref_store.run_path(planned.run_id).read_text()
+            cut_artifact = cut_store.run_path(planned.run_id).read_text()
+            # Whole artifacts match bit-for-bit outside wall-clock timing.
+            ref_payload = json.loads(ref_artifact)
+            cut_payload = json.loads(cut_artifact)
+            del ref_payload["timing"], cut_payload["timing"]
+            assert ref_payload == cut_payload
+
+        # Aggregated exports are byte-identical.
+        ref_report = json.dumps(campaign_report(spec, ref_root), sort_keys=True)
+        cut_report = json.dumps(campaign_report(spec, cut_root), sort_keys=True)
+        assert ref_report == cut_report
+
+    def test_resume_after_artifact_loss(self, tmp_path, spec):
+        run_campaign(spec, root=tmp_path, jobs=1)
+        store = open_store(spec, tmp_path)
+        before = campaign_report(spec, tmp_path)
+
+        # Lose half the artifacts (every other planned run).
+        victims = [run.run_id for run in spec.plan()[::2]]
+        for run_id in victims:
+            store.run_path(run_id).unlink()
+        assert not campaign_status(spec, tmp_path).is_complete
+
+        report = run_campaign(spec, root=tmp_path, jobs=1)
+        assert report.cached == 2
+        assert report.executed == 2
+        assert campaign_report(spec, tmp_path) == before
+
+    def test_second_resume_executes_zero_runs(self, tmp_path, spec):
+        run_campaign(spec, root=tmp_path, jobs=1)
+        again = run_campaign(spec, root=tmp_path, jobs=1)
+        assert again.executed == 0
+        assert again.cached == again.planned == 4
+        assert again.complete
+
+
+class TestIncrementalExtension:
+    def test_added_seeds_run_only_the_new_cells(self, tmp_path):
+        small = tiny_spec(name="grow", seeds=(1, 2))
+        run_campaign(small, root=tmp_path, jobs=1)
+
+        grown = tiny_spec(name="grow", seeds=(1, 2, 3))
+        report = run_campaign(grown, root=tmp_path, jobs=1)
+        assert report.planned == 6
+        assert report.cached == 4
+        assert report.executed == 2
+
+    def test_added_axis_point_runs_only_the_new_cells(self, tmp_path):
+        base = tiny_spec(name="grow-axis")
+        run_campaign(base, root=tmp_path, jobs=1)
+
+        wider = tiny_spec(
+            name="grow-axis",
+            axes=[{"field": "attack_fraction", "values": (0.25, 0.5, 0.75)}],
+        )
+        report = run_campaign(wider, root=tmp_path, jobs=1)
+        assert report.cached == 4
+        assert report.executed == 2
+        # The narrower spec still reads its subset cleanly.
+        assert campaign_status(base, tmp_path).is_complete
+        assert campaign_status(base, tmp_path).unplanned == 2
+
+
+class TestStatus:
+    def test_empty_store(self, tmp_path, spec):
+        status = campaign_status(spec, tmp_path)
+        assert status.planned == 4
+        assert status.complete == 0
+        assert len(status.missing) == 4
+        assert not status.is_complete

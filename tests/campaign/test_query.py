@@ -1,0 +1,187 @@
+"""Tests for repro.campaign.query over fabricated (simulation-free) stores."""
+
+import pytest
+
+from repro.campaign.orchestrator import open_store
+from repro.campaign.query import (
+    aggregate_by_point,
+    campaign_report,
+    group_by_point,
+    load_runs,
+    report_rows,
+    runs_where,
+    to_sweep_result,
+)
+from repro.campaign.spec import CampaignSpec
+
+from tests.campaign.conftest import fabricate_result, tiny_spec
+
+
+@pytest.fixture
+def populated(tmp_path) -> tuple[CampaignSpec, object]:
+    """A fully fabricated two-axis-point, two-seed campaign store."""
+    spec = tiny_spec(name="fab")
+    store = open_store(spec, tmp_path).ensure()
+    for planned in spec.plan():
+        store.write_result(fabricate_result(planned.config), point=planned.point)
+    return spec, tmp_path
+
+
+class TestLoadRuns:
+    def test_plan_order_and_completeness(self, populated):
+        spec, root = populated
+        runs = load_runs(spec, root)
+        assert [run.run_id for run in runs] == [
+            planned.run_id for planned in spec.plan()
+        ]
+
+    def test_where_filter(self, populated):
+        spec, root = populated
+        runs = load_runs(spec, root, where=lambda run: run.seed == 2)
+        assert len(runs) == 2
+        assert all(run.seed == 2 for run in runs)
+
+    def test_missing_runs_skipped(self, populated):
+        spec, root = populated
+        store = open_store(spec, root)
+        store.run_path(spec.plan()[0].run_id).unlink()
+        assert len(load_runs(spec, root)) == 3
+
+    def test_stale_artifacts_ignored(self, populated):
+        spec, root = populated
+        # An artifact the plan no longer mentions must not surface.
+        stray = spec.plan()[0].config.with_overrides(seed=77)
+        open_store(spec, root).write_result(fabricate_result(stray))
+        assert len(load_runs(spec, root)) == 4
+
+    def test_points_come_from_the_plan_not_the_artifact(self, tmp_path):
+        """Artifacts written without axis metadata (ad-hoc cached
+        batches, older spec revisions) still aggregate by grid cell."""
+        spec = tiny_spec(name="pointless")
+        store = open_store(spec, tmp_path).ensure()
+        for planned in spec.plan():
+            # What StoreCache.put writes: no point at all.
+            store.write_result(fabricate_result(planned.config))
+        runs = load_runs(spec, tmp_path)
+        assert all(run.point.keys() == {"attack_fraction"} for run in runs)
+        report = campaign_report(spec, tmp_path)
+        assert len(report["points"]) == 2
+        assert {p["point"]["attack_fraction"] for p in report["points"]} == {
+            0.25, 0.5,
+        }
+
+
+class TestGroupingAndAggregation:
+    def test_group_by_point_collapses_seeds(self, populated):
+        spec, root = populated
+        groups = group_by_point(load_runs(spec, root))
+        assert len(groups) == 2
+        for key, group in groups.items():
+            assert dict(key).keys() == {"attack_fraction"}
+            assert sorted(run.seed for run in group) == [1, 2]
+
+    def test_aggregate_by_point_means(self, populated):
+        spec, root = populated
+        aggregated = aggregate_by_point(load_runs(spec, root))
+        assert len(aggregated) == 2
+        for _point, metrics in aggregated:
+            # Seeds 1, 2 -> accuracy 0.91, 0.92 (fabricated).
+            assert metrics["accuracy"].mean == pytest.approx(0.915)
+            assert metrics["accuracy"].n == 2
+
+
+class TestSweepReload:
+    def test_to_sweep_result(self, populated):
+        spec, root = populated
+        sweep = to_sweep_result(
+            load_runs(spec, root), "attack_fraction", name="alpha-vs-attack"
+        )
+        assert sweep.name == "alpha-vs-attack"
+        assert sweep.x_values == [0.25, 0.5]
+        # Default reduce: lowest seed represents each point.
+        assert [p.result.config.seed for p in sweep.points] == [1, 1]
+        ys = sweep.ys(lambda result: result.summary.accuracy)
+        assert ys == pytest.approx([0.91, 0.91])
+
+    def test_custom_reduce(self, populated):
+        spec, root = populated
+        sweep = to_sweep_result(
+            load_runs(spec, root), "attack_fraction",
+            reduce=lambda group: group[-1],
+        )
+        assert [p.result.config.seed for p in sweep.points] == [2, 2]
+
+    def test_unknown_axis_raises(self, populated):
+        spec, root = populated
+        with pytest.raises(KeyError, match="not_an_axis"):
+            to_sweep_result(load_runs(spec, root), "not_an_axis")
+
+    def test_list_valued_axis_groups_and_sweeps(self, tmp_path):
+        """Axes over list-valued builder args (ingress_subset) must
+        group and report, not crash on unhashable keys."""
+        spec = tiny_spec(
+            name="listy",
+            axes=[{
+                "field": "attack_args.ingress_subset",
+                "values": (["ingress0"], ["ingress1"]),
+            }],
+        )
+        store = open_store(spec, tmp_path).ensure()
+        for planned in spec.plan():
+            store.write_result(fabricate_result(planned.config), planned.point)
+        runs = load_runs(spec, tmp_path)
+        assert len(group_by_point(runs)) == 2
+        report = campaign_report(spec, tmp_path)
+        assert len(report["points"]) == 2
+        sweep = to_sweep_result(runs, "attack_args.ingress_subset")
+        assert sweep.x_values == [["ingress0"], ["ingress1"]]
+
+    def test_categorical_axis_keeps_raw_values(self, tmp_path):
+        spec = tiny_spec(
+            name="cat",
+            axes=[{"field": "defense", "values": ("mafic", "proportional")}],
+        )
+        store = open_store(spec, tmp_path).ensure()
+        for planned in spec.plan():
+            store.write_result(fabricate_result(planned.config), planned.point)
+        sweep = to_sweep_result(load_runs(spec, tmp_path), "defense")
+        assert sweep.x_values == ["mafic", "proportional"]
+        assert [p.result.config.defense for p in sweep.points] == [
+            "mafic", "proportional",
+        ]
+
+
+class TestReport:
+    def test_report_shape(self, populated):
+        spec, root = populated
+        report = campaign_report(spec, root)
+        assert report["campaign"] == "fab"
+        assert report["planned"] == report["complete"] == 4
+        assert len(report["points"]) == 2
+        entry = report["points"][0]
+        assert entry["seeds"] == [1, 2]
+        assert set(entry["metrics"]) == {
+            "accuracy", "traffic_reduction", "false_positive_rate",
+            "false_negative_rate", "legit_drop_rate",
+        }
+
+    def test_report_rows_flatten(self, populated):
+        spec, root = populated
+        rows = report_rows(campaign_report(spec, root))
+        assert rows[0][:2] == ["attack_fraction", "n_runs"]
+        assert len(rows) == 3
+        assert rows[1][0] == 0.25
+        assert rows[2][0] == 0.5
+
+    def test_report_is_deterministic(self, populated):
+        spec, root = populated
+        assert campaign_report(spec, root) == campaign_report(spec, root)
+
+
+class TestRunsWhere:
+    def test_config_field_query(self, populated):
+        spec, root = populated
+        store = open_store(spec, root)
+        assert len(runs_where(store, seed=1)) == 2
+        assert len(runs_where(store, seed=1, attack_fraction=0.5)) == 1
+        assert runs_where(store, seed=99) == []

@@ -1,0 +1,197 @@
+"""Tests for repro.campaign.store: artifacts, atomicity, cache adapter."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import CampaignStore, StoreError
+from repro.experiments.config import ExperimentConfig
+
+from tests.campaign.conftest import fabricate_result
+
+
+@pytest.fixture
+def store(tmp_path) -> CampaignStore:
+    return CampaignStore(tmp_path / "camp").ensure()
+
+
+def config_for(seed: int = 1) -> ExperimentConfig:
+    return ExperimentConfig(total_flows=8, n_routers=6, duration=1.4, seed=seed)
+
+
+class TestArtifacts:
+    def test_write_read_round_trip(self, store):
+        config = config_for()
+        result = fabricate_result(config)
+        path = store.write_result(result, point={"attack_fraction": 0.4})
+        assert path.name == f"{config.config_hash()}.json"
+
+        run = store.read_run(config.config_hash())
+        assert run.config == config
+        assert run.summary == result.summary
+        assert run.point == {"attack_fraction": 0.4}
+        assert run.identified_atrs == {"ingress0"}
+        assert run.true_atrs == {"ingress0", "ingress1"}
+        assert run.events_executed == result.events_executed
+        assert run.series.times == result.series.times
+        assert run.series.total_kbps == result.series.total_kbps
+        assert run.wall_seconds == result.wall_seconds
+        assert run.seed == config.seed
+
+    def test_to_result_rehydrates_detached(self, store):
+        result = fabricate_result(config_for())
+        store.write_result(result)
+        rehydrated = store.read_run(result.config.config_hash()).to_result()
+        assert rehydrated.scenario is None
+        assert rehydrated.summary == result.summary
+        assert rehydrated.config == result.config
+        assert rehydrated.atr_recall == result.atr_recall
+
+    def test_has_and_run_ids(self, store):
+        assert store.run_ids() == set()
+        config = config_for()
+        assert not store.has(config.config_hash())
+        store.write_result(fabricate_result(config))
+        assert store.has(config.config_hash())
+        assert store.run_ids() == {config.config_hash()}
+
+    def test_iter_runs_sorted_by_id(self, store):
+        ids = []
+        for seed in (3, 1, 2):
+            config = config_for(seed)
+            store.write_result(fabricate_result(config))
+            ids.append(config.config_hash())
+        assert [run.run_id for run in store.iter_runs()] == sorted(ids)
+
+    def test_rewrite_is_idempotent_and_atomic(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        first = store.run_path(config.config_hash()).read_text()
+        store.write_result(fabricate_result(config))
+        assert store.run_path(config.config_hash()).read_text() == first
+        assert not list(store.runs_dir.glob("*.tmp"))
+
+    def test_deterministic_fields_exclude_timing(self, store):
+        """Two runs differing only in wall clock file identical artifacts
+        outside the quarantined 'timing' key."""
+        config = config_for()
+        result = fabricate_result(config)
+        store.write_result(result)
+        a = json.loads(store.run_path(config.config_hash()).read_text())
+
+        slower = fabricate_result(config)
+        slower.wall_seconds = 99.9
+        store.write_result(slower)
+        b = json.loads(store.run_path(config.config_hash()).read_text())
+
+        assert a["timing"] != b["timing"]
+        del a["timing"], b["timing"]
+        assert a == b
+
+
+class TestCorruption:
+    def test_missing_artifact_raises(self, store):
+        with pytest.raises(StoreError, match="no artifact"):
+            store.read_run("deadbeefdeadbeef")
+
+    def test_corrupt_json_raises(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        store.run_path(config.config_hash()).write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            store.read_run(config.config_hash())
+
+    def test_tampered_config_detected(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        path = store.run_path(config.config_hash())
+        payload = json.loads(path.read_text())
+        payload["config"]["seed"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="hash"):
+            store.read_run(config.config_hash())
+
+    def test_wrong_schema_rejected(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        path = store.run_path(config.config_hash())
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="schema"):
+            store.read_run(config.config_hash())
+
+
+class TestManifest:
+    def test_manifest_round_trip(self, store):
+        spec_dict = {"name": "x", "seeds": [1], "axes": []}
+        store.write_manifest(spec_dict)
+        assert store.read_manifest() == spec_dict
+
+
+class TestStoreCache:
+    def test_get_miss_then_hit(self, store):
+        cache = store.as_cache()
+        config = config_for()
+        assert cache.get(config) is None
+        cache.put(fabricate_result(config))
+        hit = cache.get(config)
+        assert hit is not None
+        assert hit.summary == fabricate_result(config).summary
+
+    def test_cache_pins_the_store_series_bin_width(self, store):
+        """The first writer pins the store's resolution; a cache asking
+        for a different width is refused outright."""
+        config = config_for()
+        store.as_cache(series_bin_width=0.05).put(fabricate_result(config))
+        assert store.read_run(config.config_hash()).series_bin_width == 0.05
+        assert store.series_bin_width() == 0.05
+        with pytest.raises(StoreError, match="bin width"):
+            store.as_cache(series_bin_width=0.2)
+        assert store.as_cache(series_bin_width=0.05).get(config) is not None
+
+    def test_unpinned_artifact_is_a_cache_miss(self, store):
+        """Artifacts with no recorded width (written directly) re-run
+        rather than passing for any requested resolution."""
+        config = config_for()
+        store.write_result(fabricate_result(config))  # width unrecorded
+        assert store.as_cache(series_bin_width=0.05).get(config) is None
+
+    def test_run_batch_rejects_mismatched_cache_width(self, store):
+        from repro.experiments.parallel import run_batch
+
+        with pytest.raises(ValueError, match="bin width"):
+            run_batch(
+                [config_for()], jobs=1, series_bin_width=0.2,
+                cache=store.as_cache(series_bin_width=0.05),
+            )
+
+    def test_read_run_without_series(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        run = store.read_run(config.config_hash(), load_series=False)
+        assert run.series.times == []
+        assert run.summary == fabricate_result(config).summary
+
+    def test_cache_feeds_run_batch(self, store):
+        """run_batch(cache=...) skips stored configs entirely."""
+        from repro.experiments.parallel import run_batch
+
+        cache = store.as_cache()
+        configs = [config_for(seed) for seed in (1, 2)]
+        cache.put(fabricate_result(configs[0]))
+
+        calls = []
+        real_get = cache.get
+
+        def counting_get(config):
+            calls.append(config.seed)
+            return real_get(config)
+
+        cache.get = counting_get
+        batch = run_batch(configs, jobs=1, cache=cache)
+        assert calls == [1, 2]
+        # Seed 1 came from the store (fabricated), seed 2 really ran.
+        assert batch.results[0].summary == fabricate_result(configs[0]).summary
+        assert batch.results[1].events_executed > 0
+        assert store.has(configs[1].config_hash())

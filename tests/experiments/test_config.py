@@ -90,3 +90,100 @@ class TestValidation:
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             ExperimentConfig(**kwargs)
+
+
+class TestCanonicalSerialization:
+    def test_to_dict_round_trips(self):
+        config = ExperimentConfig(
+            attack_fraction=0.6,
+            topology="multi_tier",
+            defense="red_rate_limit",
+            topology_args={"n_agg": 2},
+            seed=9,
+        )
+        rebuilt = ExperimentConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.to_dict() == config.to_dict()
+
+    def test_nested_dataclasses_round_trip(self):
+        config = ExperimentConfig()
+        config.mafic.drop_probability = 0.7
+        tree = config.to_dict()
+        assert tree["mafic"]["drop_probability"] == 0.7
+        assert tree["spoofing"]["mode"] == "mixed"
+        rebuilt = ExperimentConfig.from_dict(tree)
+        assert isinstance(rebuilt.mafic, MaficConfig)
+        assert rebuilt.mafic.drop_probability == 0.7
+
+    def test_enum_fields_serialize_as_values(self):
+        tree = ExperimentConfig(topology=TopologyKind.STAR).to_dict()
+        assert tree["topology"] == "star"
+        assert tree["defense"] == "mafic"
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        """Artifacts written before a field existed still load."""
+        tree = ExperimentConfig().to_dict()
+        del tree["workload_args"]
+        rebuilt = ExperimentConfig.from_dict(tree)
+        assert rebuilt.workload_args == {}
+
+    def test_canonical_json_is_key_order_independent(self):
+        config = ExperimentConfig(seed=4)
+        tree = config.to_dict()
+        shuffled = dict(reversed(list(tree.items())))
+        assert (
+            ExperimentConfig.from_dict(shuffled).canonical_json()
+            == config.canonical_json()
+        )
+
+
+class TestConfigHash:
+    def test_hash_is_stable_for_equal_configs(self):
+        assert (
+            ExperimentConfig(seed=7).config_hash()
+            == ExperimentConfig(seed=7).config_hash()
+        )
+
+    def test_hash_format(self):
+        digest = ExperimentConfig().config_hash()
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+    def test_every_field_perturbs_the_hash(self):
+        base = ExperimentConfig().config_hash()
+        for overrides in (
+            {"seed": 2},
+            {"attack_fraction": 0.5},
+            {"defense": DefenseKind.PROPORTIONAL},
+            {"topology_args": {"n_ingress": 4}},
+            {"workload_args": {"x": 1}},
+            {"attack_args": {"start_jitter": 0.0}},
+            {"defense_args": {"min_thresh": 4.0}},
+        ):
+            assert ExperimentConfig(**overrides).config_hash() != base
+
+    def test_hash_ignores_python_process(self):
+        """The hash is content-derived, not id()/PYTHONHASHSEED-derived."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.experiments.config import ExperimentConfig;"
+            "print(ExperimentConfig(seed=11).config_hash())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+        ).stdout.strip()
+        assert out == ExperimentConfig(seed=11).config_hash()
+
+
+class TestComponentArgsValidation:
+    def test_args_must_be_dicts(self):
+        with pytest.raises(ValueError, match="topology_args"):
+            ExperimentConfig(topology_args=[1, 2])
+
+    def test_arg_keys_must_be_strings(self):
+        with pytest.raises(ValueError, match="attack_args"):
+            ExperimentConfig(attack_args={1: "x"})

@@ -145,6 +145,96 @@ class TestInTestRegistration:
         finally:
             TOPOLOGIES.unregister("test-dummy-star")
 
+    def test_component_args_reach_dummy_builders(self):
+        """The four ``*_args`` dicts arrive as builder keyword arguments."""
+        received = {}
+
+        @TOPOLOGIES.register("test-args-topo", doc="Records its kwargs.")
+        def build_topo(config, **kwargs):
+            received["topology"] = kwargs
+            return build_star_domain(n_ingress=3)
+
+        @WORKLOADS.register("test-args-load", doc="Records its kwargs.")
+        def build_load(ctx, **kwargs):
+            received["workload"] = kwargs
+            from repro.experiments.workload import build_paper_static
+
+            return build_paper_static(ctx)
+
+        @ATTACKS.register("test-args-attack", doc="Records its kwargs.")
+        def build_attack(topology, config, rng, **kwargs):
+            received["attack"] = kwargs
+            from repro.attacks.scenarios import _build_flood
+
+            return _build_flood(topology, config, rng)
+
+        @DEFENSES.register("test-args-defense", doc="Records its kwargs.")
+        def build_defense(ctx, **kwargs):
+            received["defense"] = kwargs
+            return {}
+
+        try:
+            config = ExperimentConfig(
+                topology="test-args-topo",
+                workload="test-args-load",
+                attack="test-args-attack",
+                defense="test-args-defense",
+                topology_args={"rings": 2},
+                workload_args={"mice": False},
+                attack_args={"surge": 3.5},
+                defense_args={"budget": "low"},
+                total_flows=6,
+                duration=1.2,
+            )
+            run_experiment(config)
+            assert received == {
+                "topology": {"rings": 2},
+                "workload": {"mice": False},
+                "attack": {"surge": 3.5},
+                "defense": {"budget": "low"},
+            }
+        finally:
+            TOPOLOGIES.unregister("test-args-topo")
+            WORKLOADS.unregister("test-args-load")
+            ATTACKS.unregister("test-args-attack")
+            DEFENSES.unregister("test-args-defense")
+
+    def test_builtin_topology_accepts_generator_overrides(self):
+        config = ExperimentConfig(
+            topology="star", topology_args={"n_ingress": 3}, total_flows=6,
+            duration=1.2,
+        )
+        from repro.experiments.scenario import build_scenario
+
+        scenario = build_scenario(config)
+        assert len(scenario.topology.ingress_names) == 3
+
+    def test_unknown_component_arg_raises_type_error(self):
+        config = ExperimentConfig(
+            topology="star", topology_args={"warp_factor": 9}, total_flows=6,
+            duration=1.2,
+        )
+        from repro.experiments.scenario import build_scenario
+
+        with pytest.raises(TypeError, match="warp_factor"):
+            build_scenario(config)
+
+    def test_attack_args_route_to_scenario_and_zombie(self):
+        config = ExperimentConfig(
+            topology="star", total_flows=8, n_routers=6, duration=1.4,
+            attack_args={"start_jitter": 0.0, "jitter": 0.25,
+                         "ingress_subset": ["ingress0"]},
+        )
+        from repro.experiments.scenario import build_scenario
+
+        scenario = build_scenario(config)
+        assert scenario.attack.config.start_jitter == 0.0
+        assert scenario.attack.config.ingress_subset == ["ingress0"]
+        assert scenario.attack.config.zombie.jitter == 0.25
+        assert scenario.attack.atr_ground_truth == {"ingress0"}
+        with pytest.raises(TypeError, match="teleport"):
+            build_scenario(config.with_overrides(attack_args={"teleport": 1}))
+
     def test_dummy_defense_runs_end_to_end(self):
         from repro.core.defenses import install_agent_line
         from repro.core.policy import ProportionalDropPolicy

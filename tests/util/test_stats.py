@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -152,3 +153,77 @@ class TestWindowedRate:
         w.record(0.0, weight=5.0)
         w.record(10.0, weight=1.0)
         assert w.rate(10.0) == pytest.approx(10.0)  # only the new event
+
+
+class TestWindowedRateWatermarkPruning:
+    """The record() hot path prunes one batch per window behind a
+    watermark; reads must stay exact and memory bounded regardless."""
+
+    @staticmethod
+    def naive_rate(samples, now, window):
+        return sum(w for t, w in samples if now - window < t <= now) / window
+
+    @staticmethod
+    def naive_count(samples, now, window):
+        return sum(1 for t, _ in samples if now - window < t <= now)
+
+    def test_interleaved_reads_match_naive_reference(self):
+        """record/rate/count interleaved across many window boundaries
+        always agree with a prune-free reference implementation."""
+        window = 1.0
+        w = WindowedRate(window)
+        samples = []
+        t = 0.0
+        rng = np.random.default_rng(42)
+        for step in range(400):
+            t += float(rng.uniform(0.0, 0.4))  # frequently crosses windows
+            weight = float(rng.uniform(0.5, 2.0))
+            w.record(t, weight)
+            samples.append((t, weight))
+            if step % 3 == 0:
+                assert w.rate(t) == pytest.approx(
+                    self.naive_rate(samples, t, window)
+                )
+            if step % 5 == 0:
+                assert w.count(t) == self.naive_count(samples, t, window)
+
+    def test_reads_exact_immediately_after_boundary_crossing(self):
+        """A read right after the first sample of a new window must not
+        see stale entries the watermark hasn't flushed yet."""
+        w = WindowedRate(1.0)
+        for t in (0.0, 0.3, 0.6, 0.9):
+            w.record(t)
+        # 2.05 is far beyond every sample's expiry but record() only
+        # prunes when now >= watermark; rate() must prune fully anyway.
+        w.record(2.05)
+        assert w.count(2.05) == 1
+        assert w.rate(2.05) == pytest.approx(1.0)
+
+    def test_memory_bounded_under_record_only_workload(self):
+        """Without a single rate()/count() call, the deque stays at
+        ~2 windows of samples (the watermark batch size), not the full
+        history."""
+        window = 1.0
+        rate_hz = 1000  # samples per second
+        w = WindowedRate(window)
+        peak = 0
+        for i in range(20 * rate_hz):  # 20 seconds of traffic
+            w.record(i / rate_hz)
+            peak = max(peak, len(w._times))
+        # 2 windows of samples plus slack for the batch granularity.
+        assert peak <= 2 * rate_hz + rate_hz // 10
+        # And the bound is what keeps reads exact: final rate is 1 window.
+        now = (20 * rate_hz - 1) / rate_hz
+        assert w.count(now) == rate_hz
+
+    def test_watermark_advances_per_batch_not_per_sample(self):
+        """Expiry work happens once per window, not on every record."""
+        w = WindowedRate(1.0)
+        w.record(0.0)
+        watermark = w._next_expiry
+        for t in (0.1, 0.5, 0.9, 1.4, 1.9):
+            w.record(t)
+            assert w._next_expiry == watermark  # no prune yet
+        w.record(2.0)  # >= watermark: one batch expires
+        assert w._next_expiry > watermark
+        assert w._times[0] == pytest.approx(1.4)
