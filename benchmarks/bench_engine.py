@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Engine hot-path benchmark: pre-overhaul vs overhauled, same process.
+
+Runs the standard Table-II scenario (``paper_default``) under three
+engine formulations and proves they are **bit-identical** before
+reporting any speedup:
+
+* ``legacy``   — the pre-PR-4 formulation: heap queue, no packet pool,
+  unbatched source ticks, no cross-layer caches (``repro.perf.legacy_mode``).
+  A few structural changes (slotted Packet/FlowKey, precomputed subnet
+  masks, bytearray sketch registers) cannot be toggled back, so the
+  measured baseline still *understates* the true pre-PR cost — the
+  reported speedup is conservative.
+* ``overhauled`` — the defaults: heap queue + packet pool + batched
+  sources + caches.
+* ``overhauled-calendar`` — the same with the calendar-queue backend.
+
+Measurements are interleaved round-robin (min over rounds) so machine
+drift cancels, and the result is written to ``BENCH_engine.json`` at the
+repo root: wall times, events executed, peak queue occupancy per
+backend, packet-pool reuse counters, and the speedup.
+
+``--check`` is the CI mode (``engine-perf-smoke``): a tiny scenario,
+asserting the cross-mode *invariants* — identical metric summaries,
+identical event counts, pool accounting sane — and never wall time.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--rounds N] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.presets import paper_default
+from repro.experiments.runner import run_experiment
+from repro.perf import engine_mode
+from repro.sim.packet import packet_pool_stats
+
+MODES = {
+    "legacy": dict(
+        queue="heap", packet_pool=False, batched_sources=False,
+        hot_path_caches=False,
+    ),
+    "overhauled": dict(
+        queue="heap", packet_pool=True, batched_sources=True,
+        hot_path_caches=True,
+    ),
+    "overhauled-calendar": dict(
+        queue="calendar", packet_pool=True, batched_sources=True,
+        hot_path_caches=True,
+    ),
+}
+
+
+def _fingerprint(result) -> dict:
+    """Everything that must be bit-identical across engine modes."""
+    summary = dataclasses.asdict(result.summary)
+    return {
+        "summary": {
+            key: (value.hex() if isinstance(value, float) else value)
+            for key, value in summary.items()
+        },
+        "events_executed": result.events_executed,
+        "identified_atrs": sorted(result.identified_atrs),
+        "activation_time": (
+            None if result.activation_time is None else result.activation_time.hex()
+        ),
+    }
+
+
+def _measure(config, rounds: int):
+    """Interleaved min-wall measurement of every mode; parity-checked."""
+    walls = {name: float("inf") for name in MODES}
+    fingerprints: dict[str, dict] = {}
+    details: dict[str, dict] = {}
+    run_experiment(config)  # warm imports/caches outside the clock
+    for _ in range(rounds):
+        for name, flags in MODES.items():
+            with engine_mode(**flags):
+                started = time.perf_counter()
+                result = run_experiment(config)
+                wall = time.perf_counter() - started
+                pool = packet_pool_stats()
+            walls[name] = min(walls[name], wall)
+            fingerprints[name] = _fingerprint(result)
+            details[name] = {
+                "queue_stats": result.scenario.sim.queue_stats(),
+                "pool": {
+                    "allocated": pool["allocated"],
+                    "reused": pool["reused"],
+                    "released": pool["released"],
+                },
+            }
+    reference = fingerprints["legacy"]
+    mismatched = [
+        name for name, fp in fingerprints.items() if fp != reference
+    ]
+    return walls, fingerprints, details, mismatched
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved measurement rounds (min wall wins)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke: tiny scenario, assert invariants "
+                        "(identical results, sane pool), never wall time")
+    parser.add_argument(
+        "--out", type=str,
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+    )
+    args = parser.parse_args()
+
+    config = paper_default().with_overrides(seed=args.seed)
+    if args.check:
+        config = config.with_overrides(
+            total_flows=10, n_routers=8, duration=2.0
+        )
+        rounds = 1
+    else:
+        rounds = args.rounds
+
+    walls, fingerprints, details, mismatched = _measure(config, rounds)
+
+    if mismatched:
+        for name in mismatched:
+            print(f"FATAL: mode {name!r} diverged from legacy results")
+        return 1
+    print("all engine modes bit-identical "
+          f"(events={fingerprints['legacy']['events_executed']})")
+
+    if args.check:
+        # Invariants only — the whole point is that CI never gates on
+        # wall time.  Explicit checks, not asserts: the job must still
+        # gate under python -O / PYTHONOPTIMIZE.
+        pool = details["overhauled"]["pool"]
+        failures = []
+        if pool["released"] <= 0:
+            failures.append("pool never released a packet")
+        if pool["reused"] <= 0:
+            failures.append("pool never recycled a packet")
+        if details["overhauled-calendar"]["queue_stats"]["backend"] != "calendar":
+            failures.append("calendar mode did not run on the calendar backend")
+        if details["overhauled"]["queue_stats"]["live"] < 0:
+            failures.append("negative live-event count")
+        if failures:
+            for failure in failures:
+                print(f"FATAL: {failure}")
+            return 1
+        print("engine-perf-smoke invariants hold "
+              f"(pool reused {pool['reused']} packets; "
+              "event counts and summaries identical under heap and calendar)")
+        return 0
+
+    speedup = walls["legacy"] / walls["overhauled"]
+    record = {
+        "benchmark": "engine_hot_path_overhaul",
+        "scenario": "paper_default (Table II)",
+        "seed": args.seed,
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "events_executed": fingerprints["legacy"]["events_executed"],
+        "bit_identical_across_modes": True,
+        "wall_seconds": {name: round(wall, 4) for name, wall in walls.items()},
+        "speedup_vs_legacy": round(speedup, 3),
+        "speedup_vs_legacy_calendar": round(
+            walls["legacy"] / walls["overhauled-calendar"], 3
+        ),
+        "queue": {
+            name: detail["queue_stats"] for name, detail in details.items()
+        },
+        "packet_pool": details["overhauled"]["pool"],
+        "note": (
+            "legacy mode cannot un-toggle the structural changes (slotted "
+            "packets, precomputed masks, bytearray sketch registers), so "
+            "the baseline understates the true pre-PR cost and the "
+            "speedup is conservative.  The calendar backend is proven "
+            "bit-exact but stays opt-in: C-compiled heapq beats the "
+            "pure-Python wheel at every pending-set size these scenarios "
+            "reach."
+        ),
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    for name, wall in walls.items():
+        print(f"  {name:22s} {wall:.3f}s")
+    print(f"speedup (overhauled vs legacy, same run): {speedup:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,11 +52,16 @@ def main() -> int:
         raise SystemExit("FATAL: parallel summaries diverged from serial")
 
     speedup = serial.wall_seconds / max(1e-9, parallel.wall_seconds)
+    # A single-core host cannot demonstrate parallel speedup; a ~1x
+    # figure recorded there would read as a regression when it is only a
+    # degraded measurement environment.  Say so, loudly, in both places.
+    degraded = (os.cpu_count() or 1) == 1
     record = {
         "benchmark": "parallel_multi_seed_sweep",
         "seeds": args.seeds,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
+        "degraded": degraded,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "serial_wall_seconds": round(serial.wall_seconds, 3),
@@ -69,6 +74,14 @@ def main() -> int:
         },
     }
     Path(args.out).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    if degraded:
+        print(
+            "\n" + "!" * 70 + "\n"
+            "!! WARNING: cpu_count == 1 — this host cannot show a parallel\n"
+            "!! speedup.  The artifact is tagged \"degraded\": true; re-run on\n"
+            "!! a multi-core machine before reading the speedup as meaningful.\n"
+            + "!" * 70
+        )
     print(f"\nspeedup: {speedup:.2f}x  (summaries identical: {identical})")
     print(f"wrote {args.out}")
     return 0

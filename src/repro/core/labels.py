@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perf import FLAGS
 from repro.sim.packet import FlowKey, Packet
 
 
@@ -39,5 +40,16 @@ class FlowLabel:
 
 
 def label_of_packet(packet: Packet) -> FlowLabel:
-    """The table key for ``packet``'s flow."""
-    return FlowLabel(packet.flow_hash)
+    """The table key for ``packet``'s flow.
+
+    Memoized on the (immutable) flow key: every packet of a flow shares
+    one FlowLabel instance instead of re-validating a frozen dataclass
+    per table lookup.
+    """
+    key = packet.flow
+    label = key._label
+    if label is None:
+        label = FlowLabel(key._hash64)
+        if FLAGS.hot_path_caches:
+            object.__setattr__(key, "_label", label)
+    return label

@@ -126,11 +126,31 @@ class MaficAgent:
         self.config = config if config is not None else MaficConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.address_space = address_space
-        self.policy = (
-            policy
-            if policy is not None
-            else AdaptiveMaficPolicy(self.config.drop_probability, self._rng)
-        )
+        if policy is None:
+            from repro.perf import FLAGS
+
+            if FLAGS.batched_sources:
+                # This agent owns every draw on its stream (the gate in
+                # _handle_suspicious and the policy's Bernoulli), so both
+                # can share one prefetched buffer — same values, same
+                # order, minus a numpy scalar dispatch per examined
+                # packet.  An injected policy keeps the raw stream: the
+                # agent cannot know who else draws from it.
+                from repro.util.rng import UniformBuffer, UniformSource
+
+                buffer = UniformBuffer(self._rng)
+                self._draw_uniform = buffer.next
+                policy = AdaptiveMaficPolicy(
+                    self.config.drop_probability, UniformSource(buffer)
+                )
+            else:
+                policy = AdaptiveMaficPolicy(
+                    self.config.drop_probability, self._rng
+                )
+                self._draw_uniform = self._scalar_uniform
+        else:
+            self._draw_uniform = self._scalar_uniform
+        self.policy = policy
         self.prober = (
             prober
             if prober is not None
@@ -265,7 +285,7 @@ class MaficAgent:
                 self.tables.pdt[label].packets_dropped += 1
                 return self._drop(packet, "pdt", now)
             return self._pass_nice(packet, label, now)
-        if self._rng.random() < self.config.drop_probability:
+        if self._draw_uniform() < self.config.drop_probability:
             entry.packets_dropped += 1
             return self._drop(packet, "probe", now)
         self.stats.packets_passed += 1
@@ -394,6 +414,9 @@ class MaficAgent:
             self.tables.evict_oldest_pdt()
 
     # -------------------------------------------------------------- helpers
+
+    def _scalar_uniform(self) -> float:
+        return float(self._rng.random())
 
     def _estimate_rtt(self, packet: Packet, now: float) -> float | None:
         """RTT from the TCP timestamp echo when present.

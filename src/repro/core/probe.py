@@ -50,22 +50,31 @@ class DupAckProber:
         self.on_probe: Callable[[Packet], None] | None = None
 
     def probe(self, dropped_packet: Packet) -> None:
-        """Send the duplicate-ACK train for one dropped packet."""
-        for i in range(self.dup_acks_per_probe):
-            self.sim.schedule(i * self.spacing, self._send_one, dropped_packet)
+        """Send the duplicate-ACK train for one dropped packet.
 
-    def _send_one(self, dropped_packet: Packet) -> None:
-        ack = Packet(
-            flow=dropped_packet.flow.reversed(),
+        The fields the forged ACKs need are captured *now*: the dropped
+        packet is recycled into the pool the moment the hook's drop
+        returns, so the scheduled sends must not retain it.
+        """
+        flow = dropped_packet.flow.reversed()
+        seq = dropped_packet.seq
+        ts_val = dropped_packet.ts_val
+        for i in range(self.dup_acks_per_probe):
+            self.sim.schedule(i * self.spacing, self._send_one, flow, seq, ts_val)
+
+    def _send_one(self, flow, dropped_seq: int, dropped_ts_val: float) -> None:
+        now = self.sim.now
+        ack = Packet.acquire(
+            flow=flow,
             ptype=PacketType.DUP_ACK,
             size=self.ack_size,
             seq=0,
             # ACK the dropped segment itself: to the sender this reads as
             # "receiver is still waiting for seq" — a duplicate.
-            ack=dropped_packet.seq,
-            ts_val=self.sim.now,
-            ts_ecr=dropped_packet.ts_val,
-            created_at=self.sim.now,
+            ack=dropped_seq,
+            ts_val=now,
+            ts_ecr=dropped_ts_val,
+            created_at=now,
         )
         self.probes_sent += 1
         if self.on_probe is not None:

@@ -86,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "1 = serial)",
     )
     run_p.add_argument(
+        "--profile", metavar="FILE", default=None,
+        help="profile the single-run path with cProfile and write the "
+        "stats to FILE (inspect with `python -m pstats FILE`); a summary "
+        "of the hottest functions is printed after the run",
+    )
+    run_p.add_argument(
         "--list-presets", action="store_true",
         help="print the named presets and exit",
     )
@@ -178,8 +184,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _print_registries(args.list_components)
     config = _run_config(args)
     if args.seeds > 1:
+        if args.profile:
+            print("--profile profiles the single-run path; drop --seeds",
+                  file=sys.stderr)
+            return 2
         return _cmd_run_multi_seed(config, args)
-    result = run_experiment(config)
+    if args.profile:
+        result = _run_profiled(config, args.profile)
+    else:
+        result = run_experiment(config)
     print(format_summary(result.summary))
     if result.activation_time is not None:
         print(f"\npushback triggered at t={result.activation_time:.2f}s; "
@@ -187,6 +200,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print("\npushback never triggered")
     return 0
+
+
+def _run_profiled(config: ExperimentConfig, out_path: str):
+    """Run one experiment under cProfile; write stats, print the top.
+
+    Future perf work starts from data: ``python -m repro run --profile
+    out.prof`` captures exactly the single-run hot path (scenario build
+    plus the event loop), dumps pstats to ``out_path``, and shows the 15
+    most expensive functions by cumulative time.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(config)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(out_path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(15)
+    print(f"profile written to {out_path}")
+    return result
 
 
 def _cmd_run_multi_seed(config: ExperimentConfig, args: argparse.Namespace) -> int:

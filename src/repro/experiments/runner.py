@@ -54,15 +54,29 @@ def run_experiment(
     scenario: BuiltScenario | None = None,
     series_bin_width: float = 0.05,
 ) -> ExperimentResult:
-    """Build (unless given), run to ``config.duration``, and summarize."""
-    from repro.sim.packet import reset_packet_ids
+    """Build (unless given), run to ``config.duration``, and summarize.
+
+    The packet free-list pool is enabled for the duration of the run
+    (unless ``repro.perf.FLAGS.packet_pool`` is off): the simulation
+    never retains a delivered or dropped packet, so recycling is safe
+    here, while unit tests that hold raw packets run with the pool off.
+    """
+    from repro.perf import FLAGS
+    from repro.sim.packet import enable_packet_pool, reset_packet_ids
 
     reset_packet_ids()
-    if scenario is None:
-        scenario = build_scenario(config)
-    started = time.perf_counter()
-    scenario.sim.run(until=config.duration)
-    wall = time.perf_counter() - started
+    pooled = FLAGS.packet_pool
+    if pooled:
+        enable_packet_pool(True)
+    try:
+        if scenario is None:
+            scenario = build_scenario(config)
+        started = time.perf_counter()
+        scenario.sim.run(until=config.duration)
+        wall = time.perf_counter() - started
+    finally:
+        if pooled:
+            enable_packet_pool(False)
 
     reduction_window = config.mafic.probe_window(None)
     summary = summarize(

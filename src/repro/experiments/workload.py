@@ -114,7 +114,10 @@ def build_paper_static(ctx: WorkloadContext) -> WorkloadBuild:
             packet_size=config.packet_size,
             is_attack=False,
             jitter=0.05,
+            # Per-flow stream: nothing else draws from it during the
+            # run, so departure times batch into series chunks.
             rng=rngs.stream("legit", "udp", i),
+            exclusive_rng=True,
         )
         host.bind_port(port, sender)
         start = float(start_rng.random()) * config.legit_start_spread

@@ -1,0 +1,78 @@
+"""Engine performance-mode flags.
+
+The PR 4 hot-path overhaul is provably result-preserving: the calendar
+queue executes the identical event sequence as the heap, the packet pool
+recycles objects without changing uids or field values, and batched
+source generation consumes the same RNG streams in the same draw order.
+These flags exist so the legacy formulation stays runnable — the
+``bench_engine`` benchmark measures both modes *in the same process* and
+asserts their results are bit-identical before reporting a speedup, and
+CI's ``engine-perf-smoke`` job runs the invariants at tiny scale.
+
+``FLAGS`` is a process-global (the simulator is single-threaded per
+process; parallel sweep workers inherit the defaults).  Use
+:func:`engine_mode` to override temporarily::
+
+    with engine_mode(queue="heap", packet_pool=False, batched_sources=False):
+        result = run_experiment(config)   # legacy engine, identical results
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class PerfFlags:
+    """Which engine formulation runs."""
+
+    #: Default Simulator queue backend: "heap" or "calendar".  Both are
+    #: proven bit-exact; the heap stays default because C-compiled
+    #: heapq sifts beat the pure-Python wheel's constant factor at every
+    #: pending-set size the paper's scenarios reach (see BENCH_engine).
+    queue: str = "heap"
+    #: Recycle Packet objects through the free-list pool during runs.
+    packet_pool: bool = True
+    #: CBR/on-off senders precompute departure times per horizon chunk
+    #: (and zombies sharing an RNG stream prefetch jitter draws).
+    batched_sources: bool = True
+    #: Cross-layer memoization (static route lookups, source-legality
+    #: checks, flow labels, LogLog item hashes, spoofed flow keys).
+    #: Toggleable so ``legacy_mode`` can measure the pre-overhaul
+    #: formulation in the same process.
+    hot_path_caches: bool = True
+
+
+FLAGS = PerfFlags()
+
+_FIELDS = ("queue", "packet_pool", "batched_sources", "hot_path_caches")
+
+
+@contextmanager
+def engine_mode(**overrides):
+    """Temporarily override :data:`FLAGS` fields (see module docstring)."""
+    unknown = set(overrides) - set(_FIELDS)
+    if unknown:
+        raise TypeError(f"unknown perf flags: {sorted(unknown)}")
+    saved = {name: getattr(FLAGS, name) for name in _FIELDS}
+    try:
+        for name, value in overrides.items():
+            setattr(FLAGS, name, value)
+        yield FLAGS
+    finally:
+        for name, value in saved.items():
+            setattr(FLAGS, name, value)
+
+
+def legacy_mode():
+    """The pre-overhaul formulation: heap queue, no pool, unbatched
+    ticks, no cross-layer caches.  A few structural changes (slotted
+    Packet/FlowKey, precomputed subnet masks, bytearray sketch
+    registers) cannot be toggled back, so a legacy-mode wall time still
+    slightly *understates* the true pre-PR cost — speedups measured
+    against it are conservative."""
+    return engine_mode(
+        queue="heap", packet_pool=False, batched_sources=False,
+        hot_path_caches=False,
+    )

@@ -66,15 +66,20 @@ class Subnet:
         _check_addr(self.base)
         if not 0 <= self.prefix_len <= 32:
             raise ValueError(f"prefix length out of range: {self.prefix_len}")
-        if self.base & ~self.netmask:
+        if self.prefix_len == 0:
+            mask = 0
+        else:
+            mask = (_MAX_ADDR << (32 - self.prefix_len)) & _MAX_ADDR
+        # Frozen dataclass: stash the precomputed mask directly.  contains()
+        # runs per packet per hop, so the mask must be a load, not a shift.
+        object.__setattr__(self, "_mask", mask)
+        if self.base & ~mask:
             raise ValueError("subnet base has host bits set")
 
     @property
     def netmask(self) -> int:
-        """The prefix as a 32-bit mask."""
-        if self.prefix_len == 0:
-            return 0
-        return (_MAX_ADDR << (32 - self.prefix_len)) & _MAX_ADDR
+        """The prefix as a 32-bit mask (precomputed)."""
+        return self._mask
 
     @property
     def size(self) -> int:
@@ -84,7 +89,7 @@ class Subnet:
     def contains(self, addr: int | IPv4Address) -> bool:
         """True when ``addr`` falls inside this block."""
         value = int(addr)
-        return (value & self.netmask) == self.base
+        return (value & self._mask) == self.base
 
     def host(self, index: int) -> IPv4Address:
         """The ``index``-th address in the block (0-based)."""
@@ -105,6 +110,10 @@ class AddressSpace:
     straight to the PDT.
     """
 
+    #: Legality-memo bound: rotating spoofers mint fresh addresses per
+    #: packet, so the cache is cleared (not grown) past this many entries.
+    _LEGAL_CACHE_MAX = 1 << 16
+
     #: Reserved blocks that can never be legitimate unicast sources.
     RESERVED = (
         Subnet(IPv4Address.from_string("0.0.0.0").value, 8),
@@ -114,8 +123,16 @@ class AddressSpace:
     )
 
     def __init__(self) -> None:
+        from repro.perf import FLAGS
+
         self._subnets: list[Subnet] = []
         self._next_alloc = IPv4Address.from_string("10.0.0.0").value
+        # Legality is static once the topology is built; memoize per
+        # address (the PDT shortcut consults this for every examined
+        # packet).  Cleared on allocation; None in legacy benchmark mode.
+        self._legal_cache: dict[int, bool] | None = (
+            {} if FLAGS.hot_path_caches else None
+        )
 
     @property
     def subnets(self) -> tuple[Subnet, ...]:
@@ -133,6 +150,8 @@ class AddressSpace:
         if self._next_alloc > IPv4Address.from_string("126.255.255.255").value:
             raise RuntimeError("address space exhausted")
         self._subnets.append(subnet)
+        if self._legal_cache is not None:
+            self._legal_cache.clear()
         return subnet
 
     def is_reserved(self, addr: int | IPv4Address) -> bool:
@@ -145,9 +164,22 @@ class AddressSpace:
         "Legal" in the paper's sense: a valid address of a certain subnet
         within a certain AS — NOT necessarily the true sender.
         """
-        if self.is_reserved(addr):
-            return False
-        return any(subnet.contains(addr) for subnet in self._subnets)
+        value = int(addr)
+        cache = self._legal_cache
+        legal = cache.get(value) if cache is not None else None
+        if legal is None:
+            legal = not self.is_reserved(value) and any(
+                subnet.contains(value) for subnet in self._subnets
+            )
+            if cache is not None:
+                if len(cache) >= self._LEGAL_CACHE_MAX:
+                    # Rotating spoofers feed one fresh random address per
+                    # packet; an unbounded memo would grow O(packets).
+                    # Dropping the whole cache keeps the stable-flow hit
+                    # rate (they repopulate immediately) with bounded memory.
+                    cache.clear()
+                cache[value] = legal
+        return legal
 
     def random_legal_address(self, rng) -> IPv4Address:
         """Draw a uniformly random address from the allocated subnets."""

@@ -1,16 +1,31 @@
-"""Event-heap discrete-event scheduler.
+"""Discrete-event scheduler with selectable queue backends.
 
 A classic callback-style engine: events are ``(time, priority, seq)``-ordered
-entries in a binary heap; running an event calls its function.  There are no
-coroutines — handlers schedule follow-up events explicitly — which keeps the
-hot path small and the execution order fully deterministic.
+entries; running an event calls its function.  There are no coroutines —
+handlers schedule follow-up events explicitly — which keeps the hot path
+small and the execution order fully deterministic.
 
-The heap holds plain ``(time, priority, seq, handle)`` tuples so every
-sift compares machine floats/ints at C speed instead of calling into a
-dataclass ``__lt__``.  The :class:`Event` handle is a slotted object that
-carries the callback; cancelling a handle nulls its callback in place
-(O(1)) and the dead tuple is discarded lazily when it surfaces, or in a
-batch compaction when cancelled entries outnumber live ones.
+Two queue backends implement the identical total order (``seq`` is unique,
+so the order is strict and both backends execute the exact same sequence):
+
+* ``"heap"`` — a binary heap of plain ``(time, priority, seq, handle)``
+  tuples (C-speed sifts), as shipped in PR 1.
+* ``"calendar"`` — an array-backed calendar queue (Brown 1988): a bucketed
+  timing wheel whose bucket width re-tunes itself to the observed event
+  spacing, with a far-future overflow heap for events beyond the current
+  wheel window.  Inserts and pops touch one small bucket instead of
+  sifting a ``log n`` path, so cost stays flat as the pending set grows.
+
+Both support *series events* (:meth:`Simulator.schedule_series`): one
+handle that fires at each time of a precomputed, ascending schedule.  The
+engine re-inserts the handle after each firing (fresh ``seq``, assigned
+after the callback returns — exactly where a self-rescheduling handler
+would have allocated it), so a periodic source costs one event object per
+horizon chunk instead of one per tick.
+
+Cancelling a handle nulls its callback in place (O(1)); dead entries are
+discarded lazily when they surface, or in a batch compaction when
+cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
@@ -20,21 +35,27 @@ import itertools
 import math
 from typing import Any, Callable
 
-#: Never compact below this many dead entries — rebuilding a tiny heap
-#: costs more in constant factors than the dead tuples do in sift depth.
+from repro.perf import FLAGS
+
+#: Never compact below this many dead entries — rebuilding a tiny queue
+#: costs more in constant factors than the dead tuples do in scan depth.
 _COMPACT_MIN_DEAD = 64
 
 
 class Event:
     """Handle to one scheduled callback.
 
-    Ordering lives in the heap tuple ``(time, priority, seq)``, not here;
+    Ordering lives in the queue tuple ``(time, priority, seq)``, not here;
     ``seq`` is a monotonically increasing tie-breaker so same-time events
     fire in scheduling order.  The handle only carries the callback and
     supports O(1) :meth:`cancel`.
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "_sim")
+
+    #: Class-level default: plain events carry no series schedule.  The
+    #: run loop branches on this without paying a per-instance slot.
+    times = None
 
     def __init__(
         self,
@@ -65,11 +86,533 @@ class Event:
         self.args = ()
         sim = self._sim
         if sim is not None:
-            sim._on_cancel()
+            sim._on_cancel(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.fn is None else "pending"
         return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class SeriesEvent(Event):
+    """One handle that fires at every time of a precomputed schedule.
+
+    ``times`` is an ascending list of absolute fire times; ``index`` is
+    the position currently queued (or just fired).  After each firing the
+    engine re-inserts the same handle at the next time with a fresh
+    ``seq`` — allocated *after* the callback returns, exactly where a
+    self-rescheduling handler's trailing ``schedule()`` call would have
+    drawn it, so interleaving with events the callback schedules is
+    bit-identical to the unbatched formulation.
+
+    The callback may append to :attr:`times` (see :meth:`extend`) to
+    continue the series past the current horizon chunk, and calls
+    :meth:`stop` to end it (e.g. when its source is stopped).
+    """
+
+    __slots__ = ("times", "index", "_stop", "_queued")
+
+    def __init__(self, time, priority, seq, fn, args, sim, times) -> None:
+        super().__init__(time, priority, seq, fn, args, sim)
+        self.times: list[float] = times
+        self.index = 0
+        self._stop = False
+        self._queued = True
+
+    def extend(self, more_times) -> None:
+        """Append further ascending fire times to the schedule.
+
+        Validated like :meth:`Simulator.schedule_series`: every appended
+        time must be finite and no earlier than the schedule's current
+        last time — this is an insertion path into the queue, and an
+        unchecked NaN here would corrupt the clock exactly like the
+        ``schedule_at`` bug this PR fixes.  Nothing is appended unless
+        every time passes.
+
+        The already-consumed prefix is pruned here (the current time
+        stays at position 0), so a long-lived periodic source holds one
+        horizon chunk, not its whole departure history.
+        """
+        new_times = [float(t) for t in more_times]
+        times = self.times
+        prev = times[-1]
+        for t in new_times:
+            if not (prev <= t < math.inf):
+                raise ValueError(
+                    "series times must be finite and ascending "
+                    f"(got {t} after {prev})"
+                )
+            prev = t
+        index = self.index
+        if index:
+            del times[:index]
+            self.index = 0
+        times.extend(new_times)
+
+    def stop(self) -> None:
+        """End the series: no further firings.
+
+        From inside the callback this ends the series after the current
+        firing; called externally while the next firing is queued, it
+        cancels that firing too (without this, a quiesced source would
+        still fire once more).
+        """
+        if self._queued:
+            self.cancel()
+        else:
+            self._stop = True
+
+    def cancel(self) -> None:
+        """Cancel the series: drop the queued entry, or stop it mid-fire."""
+        if self.fn is None:
+            return
+        if self._queued:
+            super().cancel()
+        else:
+            # Being executed right now: the run loop owns the entry, so
+            # there is no queue bookkeeping to fix — just end the series.
+            self._stop = True
+
+
+class _HeapQueue:
+    """PR 1's tuple heap behind the shared backend interface."""
+
+    __slots__ = ("_heap", "dead", "size", "peak")
+
+    kind = "heap"
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self.dead = 0  # cancelled entries not yet discarded
+        self.size = 0  # queued entries, live + dead
+        self.peak = 0
+
+    def push(self, entry: tuple[float, int, int, Event]) -> None:
+        heapq.heappush(self._heap, entry)
+        size = self.size + 1
+        self.size = size
+        if size > self.peak:
+            self.peak = size
+
+    def first_time(self) -> float:
+        """Time of the earliest live entry, or ``inf`` when empty."""
+        heap = self._heap
+        while heap and heap[0][3].fn is None:
+            heapq.heappop(heap)
+            self.dead -= 1
+            self.size -= 1
+        return heap[0][0] if heap else math.inf
+
+    def note_cancel(self, live: int) -> None:
+        self.dead += 1
+        if self.dead > _COMPACT_MIN_DEAD and self.dead > live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled tuple and re-heapify (amortized O(n))."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[3].fn is not None]
+        heapq.heapify(heap)
+        self.dead = 0
+        self.size = len(heap)
+
+    def run_loop(self, sim: "Simulator", limit: float, cap: float) -> None:
+        """The event loop, specialized for the heap (see Simulator.run).
+
+        Mirrors :meth:`_CalendarQueue.run_loop` — the dequeue mechanics
+        are inlined per backend so the per-event cost carries no method
+        dispatch; the execute/series semantics must stay in lockstep.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        next_seq = sim._next_seq
+        executed = 0
+        while not sim._stopped:
+            if not heap:
+                break
+            entry = heap[0]
+            ev = entry[3]
+            fn = ev.fn
+            if fn is None:
+                heappop(heap)
+                self.dead -= 1
+                self.size -= 1
+                continue
+            time = entry[0]
+            if time > limit:
+                break
+            heappop(heap)
+            self.size -= 1
+            sim._live -= 1
+            sim._now = time
+            times = ev.times
+            if times is None:
+                ev.fn = None  # consumed; a late cancel() must be a no-op
+                fn(*ev.args)
+            else:
+                ev._queued = False
+                fn(*ev.args)
+                if not ev._stop:
+                    index = ev.index + 1
+                    if index < len(times):
+                        ev.index = index
+                        t2 = times[index]
+                        seq = next_seq()
+                        ev.time = t2
+                        ev.seq = seq
+                        ev._queued = True
+                        heappush(heap, (t2, entry[1], seq, ev))
+                        size = self.size + 1
+                        self.size = size
+                        if size > self.peak:
+                            self.peak = size
+                        sim._live += 1
+                    else:
+                        ev.fn = None
+                else:
+                    ev.fn = None
+            sim.events_executed += 1
+            executed += 1
+            if executed >= cap:
+                break
+
+
+class _CalendarQueue:
+    """Array-backed calendar queue with an overflow heap.
+
+    The wheel maps the window ``[start, start + nbuckets * width)`` onto
+    ``nbuckets`` buckets; an entry's bucket is a float multiply and a
+    push.  Each bucket is itself a *small heap*, so the bucket minimum is
+    ``bucket[0]`` (O(1) peek) and insert/remove are C-speed sifts over a
+    handful of entries instead of ``log n`` of the whole pending set.
+    Entries beyond the window wait in a far-future binary heap and
+    migrate in when the wheel empties and re-anchors at their epoch.
+    Popping scans forward from a monotone hint to the first non-empty
+    bucket.
+
+    The bucket width re-tunes on resize (triggered when the live count
+    outgrows or undershoots the bucket count) to a small multiple of the
+    median inter-event gap near the head, so both dense packet bursts and
+    sparse timer-only phases keep O(1)-ish bucket occupancy — including
+    heavily skewed schedules where a mean would be dragged by outliers.
+    """
+
+    __slots__ = (
+        "_buckets", "_n", "_width", "_inv_width", "_start", "_end", "_hint",
+        "_wheel_count", "_over", "_grow_at", "_shrink_at", "resizes",
+        "dead", "size", "peak",
+    )
+
+    kind = "calendar"
+
+    _MIN_BUCKETS = 64
+    _MAX_BUCKETS = 1 << 15
+    _MIN_WIDTH = 1e-9
+    _MAX_WIDTH = 1e6
+
+    def __init__(self) -> None:
+        self._n = 256
+        self._width = 1.0 / 1024.0
+        self._inv_width = 1024.0
+        self._buckets: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(self._n)
+        ]
+        self._start: float | None = None  # wheel not anchored yet
+        self._end = 0.0
+        self._hint = 0  # no non-empty bucket below this index
+        self._wheel_count = 0  # entries (live + dead) in the wheel
+        self._over: list[tuple[float, int, int, Event]] = []  # far future
+        self._grow_at = 2 * self._n
+        self._shrink_at = self._n // 8
+        self.resizes = 0
+        self.dead = 0
+        self.size = 0
+        self.peak = 0
+
+    # ------------------------------------------------------------- insert
+
+    def push(self, entry: tuple[float, int, int, Event]) -> None:
+        t = entry[0]
+        start = self._start
+        if start is None:
+            self._anchor(t)
+            start = self._start
+        if t < self._end:
+            # Multiply instead of divide; any monotone time->bucket map
+            # preserves ordering, so the cheaper rounding is safe.
+            i = int((t - start) * self._inv_width)
+            # Clamp: times below the anchor (possible after the wheel
+            # advanced past them) collapse into bucket 0, which is always
+            # scanned first; float edge cases clamp into the last bucket.
+            if i < 0:
+                i = 0
+            elif i >= self._n:
+                i = self._n - 1
+            heapq.heappush(self._buckets[i], entry)
+            self._wheel_count += 1
+            if i < self._hint:
+                self._hint = i
+        else:
+            heapq.heappush(self._over, entry)
+        size = self.size + 1
+        self.size = size
+        if size > self.peak:
+            self.peak = size
+        if size - self.dead > self._grow_at and self._n < self._MAX_BUCKETS:
+            self._resize(self._n * 2)
+
+    # --------------------------------------------------------------- pop
+
+    def pop_next(self, limit: float):
+        """Pop and return the earliest live entry with ``time <= limit``."""
+        heappop = heapq.heappop
+        while True:
+            if self._wheel_count == 0:
+                over = self._over
+                while over and over[0][3].fn is None:
+                    heappop(over)
+                    self.dead -= 1
+                    self.size -= 1
+                if not over:
+                    return None
+                # Jump the wheel window to the overflow epoch.
+                self._anchor(over[0][0])
+                self._migrate_overflow()
+                continue
+            buckets = self._buckets
+            n = self._n
+            b = self._hint
+            while b < n:
+                bucket = buckets[b]
+                if not bucket:
+                    b += 1
+                    continue
+                best = bucket[0]
+                if best[3].fn is None:  # purge dead heads lazily
+                    heappop(bucket)
+                    self._wheel_count -= 1
+                    self.size -= 1
+                    self.dead -= 1
+                    continue
+                self._hint = b
+                if best[0] > limit:
+                    return None
+                heappop(bucket)
+                self._wheel_count -= 1
+                size = self.size - 1
+                self.size = size
+                if size - self.dead < self._shrink_at and self._n > self._MIN_BUCKETS:
+                    self._resize(self._n // 2)
+                return best
+            # Scanned the whole window without finding an entry: the
+            # wheel is empty — retry via the overflow/anchor path.
+            self._hint = n
+            if self._wheel_count:  # defensive recount; never expected
+                self._wheel_count = sum(len(bk) for bk in buckets)
+                if self._wheel_count:
+                    self._hint = 0
+            continue
+
+    def first_time(self) -> float:
+        """Time of the earliest live entry, or ``inf`` when empty."""
+        entry = self.pop_next(-math.inf)  # never pops (limit below any time)
+        if entry is not None:  # pragma: no cover - defensive
+            self.push(entry)
+            return entry[0]
+        # pop_next(-inf) returns None either on empty or via the
+        # limit-check with self._hint left at the min bucket.
+        if self._wheel_count:
+            bucket = self._buckets[self._hint]
+            if bucket:
+                return bucket[0][0]
+        return self._over[0][0] if self._over else math.inf
+
+    # --------------------------------------------------------- cancel/gc
+
+    def note_cancel(self, live: int) -> None:
+        self.dead += 1
+        if self.dead > _COMPACT_MIN_DEAD and self.dead > live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry and rebuild (amortized O(n))."""
+        self._resize(self._n)
+
+    def run_loop(self, sim: "Simulator", limit: float, cap: float) -> None:
+        """The event loop, specialized for the wheel (see Simulator.run).
+
+        Mirrors :meth:`_HeapQueue.run_loop`; the execute/series semantics
+        must stay in lockstep — only the dequeue mechanics differ.
+        """
+        heappop = heapq.heappop
+        next_seq = sim._next_seq
+        executed = 0
+        while not sim._stopped:
+            # -- dequeue: earliest live entry, or advance/stop ----------
+            if self._wheel_count == 0:
+                over = self._over
+                while over and over[0][3].fn is None:
+                    heappop(over)
+                    self.dead -= 1
+                    self.size -= 1
+                if not over:
+                    break
+                self._anchor(over[0][0])
+                self._migrate_overflow()
+                continue
+            buckets = self._buckets
+            n = self._n
+            b = self._hint
+            entry = None
+            while b < n:
+                bucket = buckets[b]
+                if not bucket:
+                    b += 1
+                    continue
+                best = bucket[0]
+                if best[3].fn is None:  # purge dead heads lazily
+                    heappop(bucket)
+                    self._wheel_count -= 1
+                    self.size -= 1
+                    self.dead -= 1
+                    continue
+                self._hint = b
+                if best[0] > limit:
+                    return
+                heappop(bucket)
+                self._wheel_count -= 1
+                size = self.size - 1
+                self.size = size
+                if size - self.dead < self._shrink_at and n > self._MIN_BUCKETS:
+                    self._resize(n // 2)
+                entry = best
+                break
+            if entry is None:
+                # Scanned the whole window: wheel is (effectively) empty.
+                self._hint = n
+                if self._wheel_count:  # defensive recount; never expected
+                    self._wheel_count = sum(len(bk) for bk in buckets)
+                    if self._wheel_count:
+                        self._hint = 0
+                continue
+            # -- execute (kept in lockstep with the heap loop) ----------
+            ev = entry[3]
+            fn = ev.fn
+            sim._live -= 1
+            sim._now = entry[0]
+            times = ev.times
+            if times is None:
+                ev.fn = None  # consumed; a late cancel() must be a no-op
+                fn(*ev.args)
+            else:
+                ev._queued = False
+                fn(*ev.args)
+                if not ev._stop:
+                    index = ev.index + 1
+                    if index < len(times):
+                        ev.index = index
+                        t2 = times[index]
+                        seq = next_seq()
+                        ev.time = t2
+                        ev.seq = seq
+                        ev._queued = True
+                        self.push((t2, entry[1], seq, ev))
+                        sim._live += 1
+                    else:
+                        ev.fn = None
+                else:
+                    ev.fn = None
+            sim.events_executed += 1
+            executed += 1
+            if executed >= cap:
+                break
+
+    # ----------------------------------------------------------- internals
+
+    def _anchor(self, t: float) -> None:
+        """Re-anchor the (empty) wheel window so that ``t`` lands in it."""
+        width = self._width
+        self._start = math.floor(t / width) * width
+        self._end = self._start + self._n * width
+        self._hint = 0
+
+    def _migrate_overflow(self) -> None:
+        """Pull overflow entries that now fall inside the wheel window."""
+        over = self._over
+        end = self._end
+        start = self._start
+        inv_width = self._inv_width
+        n = self._n
+        buckets = self._buckets
+        while over and over[0][0] < end:
+            entry = heapq.heappop(over)
+            if entry[3].fn is None:
+                self.dead -= 1
+                self.size -= 1
+                continue
+            i = int((entry[0] - start) * inv_width)
+            if i < 0:
+                i = 0
+            elif i >= n:
+                i = n - 1
+            # Ascending heap-pops appended to an empty bucket keep the
+            # bucket-heap invariant (a sorted list is a valid heap).
+            buckets[i].append(entry)
+            self._wheel_count += 1
+
+    def _live_entries(self) -> list[tuple[float, int, int, Event]]:
+        entries = [
+            e for bucket in self._buckets for e in bucket if e[3].fn is not None
+        ]
+        entries.extend(e for e in self._over if e[3].fn is not None)
+        return entries
+
+    def _resize(self, n: int) -> None:
+        """Rebuild with ``n`` buckets and a re-tuned width (purges dead)."""
+        entries = self._live_entries()
+        self.resizes += 1
+        self._n = n
+        self._grow_at = 2 * n
+        self._shrink_at = n // 8
+        self._width = self._tune_width(entries)
+        self._inv_width = 1.0 / self._width
+        self._buckets = [[] for _ in range(n)]
+        self._over = []
+        self._wheel_count = 0
+        self.dead = 0
+        self.size = 0
+        peak = self.peak
+        if entries:
+            self._anchor(min(e[0] for e in entries))
+        else:
+            self._start = None
+        for entry in entries:
+            self.push(entry)
+        self.peak = peak
+
+    def _tune_width(self, entries) -> float:
+        """Bucket width ~ 2x the median inter-event gap near the head.
+
+        The median (over the soonest ~128 events, zero gaps dropped) is
+        robust to the two ways schedules skew: bursts of same-time events
+        would drag an average to zero, and a handful of far-future timers
+        (RTO backoffs) would stretch it to seconds.
+        """
+        if len(entries) < 2:
+            return self._width
+        times = sorted(e[0] for e in entries)[:128]
+        gaps = sorted(
+            b - a for a, b in zip(times, times[1:]) if b > a
+        )
+        if not gaps:
+            return self._width
+        width = 2.0 * gaps[len(gaps) // 2]
+        return min(self._MAX_WIDTH, max(self._MIN_WIDTH, width))
+
+
+_BACKENDS = {"heap": _HeapQueue, "calendar": _CalendarQueue}
+
+_new_event = object.__new__
 
 
 class Simulator:
@@ -84,16 +627,27 @@ class Simulator:
     Handlers receive their args verbatim; they query ``sim.now`` for the
     current time and call :meth:`schedule` / :meth:`schedule_at` to continue
     the computation.
+
+    ``queue`` selects the backend: ``"heap"`` (the default — C-compiled
+    heapq wins at the pending-set sizes these scenarios reach) or
+    ``"calendar"`` (see module docstring).  Both execute the identical
+    event sequence; the golden-master suite pins this bit-exactly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, queue: str | None = None) -> None:
+        if queue is None:
+            queue = FLAGS.queue
+        try:
+            backend = _BACKENDS[queue]
+        except KeyError:
+            raise ValueError(
+                f"unknown queue backend {queue!r}; expected one of "
+                f"{sorted(_BACKENDS)}"
+            ) from None
         self._now = 0.0
-        # Heap of (time, priority, seq, Event); seq is unique, so the
-        # comparison never reaches the handle.
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._q = backend()
         self._next_seq = itertools.count().__next__
-        self._live = 0  # non-cancelled entries still in the heap
-        self._dead = 0  # cancelled entries not yet discarded
+        self._live = 0  # non-cancelled entries still queued
         self._running = False
         self._stopped = False
         self.events_executed = 0
@@ -102,6 +656,21 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def queue_kind(self) -> str:
+        """Which queue backend this simulator runs on."""
+        return self._q.kind
+
+    def queue_stats(self) -> dict:
+        """Occupancy counters of the queue backend (for benchmarks)."""
+        q = self._q
+        return {
+            "backend": q.kind,
+            "queued": q.size,
+            "live": self._live,
+            "peak_occupancy": q.peak,
+        }
 
     def schedule(
         self,
@@ -123,15 +692,64 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
-        time = float(time)
-        if time < self._now:
-            raise ValueError(
-                f"cannot schedule into the past (time={time}, now={self._now})"
-            )
+        if time.__class__ is not float:  # fast path: already a float
+            time = float(time)
+        # One interval check covers past times AND the non-finite values
+        # a naive ``time < now`` lets through (NaN compares False against
+        # everything; +inf would park an unreachable event forever).
+        if not (self._now <= time < math.inf):
+            if math.isfinite(time):
+                raise ValueError(
+                    f"cannot schedule into the past (time={time}, now={self._now})"
+                )
+            raise ValueError(f"event time must be finite, got {time}")
         if not callable(fn):
             raise TypeError("fn must be callable")
-        ev = Event(time, priority, self._next_seq(), fn, args, self)
-        heapq.heappush(self._heap, (time, priority, ev.seq, ev))
+        seq = self._next_seq()
+        # Inline construction (object.__new__ + stores) skips one Python
+        # call frame on the busiest allocation site in the simulator.
+        ev = _new_event(Event)
+        ev.time = time
+        ev.priority = priority
+        ev.seq = seq
+        ev.fn = fn
+        ev.args = args
+        ev._sim = self
+        self._q.push((time, priority, seq, ev))
+        self._live += 1
+        return ev
+
+    def schedule_series(
+        self,
+        times,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> SeriesEvent:
+        """Schedule ``fn(*args)`` at every time of an ascending schedule.
+
+        ``times`` must be non-empty, ascending, finite, and start no
+        earlier than ``now``.  Returns the reusable :class:`SeriesEvent`
+        handle; the callback may :meth:`~SeriesEvent.extend` it with the
+        next horizon chunk or :meth:`~SeriesEvent.stop` it.  Occupies one
+        queue slot at a time and counts one pending event.
+        """
+        times = [float(t) for t in times]
+        if not times:
+            raise ValueError("schedule_series needs at least one time")
+        prev = self._now
+        for t in times:
+            if not (prev <= t < math.inf):
+                raise ValueError(
+                    "series times must be finite, ascending, and not in "
+                    f"the past (got {t} after {prev})"
+                )
+            prev = t
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        seq = self._next_seq()
+        ev = SeriesEvent(times[0], priority, seq, fn, args, self, times)
+        self._q.push((times[0], priority, seq, ev))
         self._live += 1
         return ev
 
@@ -141,11 +759,7 @@ class Simulator:
 
     def peek_time(self) -> float:
         """Time of the next pending event, or ``inf`` when the queue is empty."""
-        heap = self._heap
-        while heap and heap[0][3].fn is None:
-            heapq.heappop(heap)
-            self._dead -= 1
-        return heap[0][0] if heap else math.inf
+        return self._q.first_time()
 
     def pending(self) -> int:
         """Number of non-cancelled events currently queued (O(1))."""
@@ -162,30 +776,13 @@ class Simulator:
             raise RuntimeError("simulator is already running")
         self._running = True
         self._stopped = False
-        executed_this_run = 0
-        heap = self._heap  # compaction mutates in place, identity is stable
-        heappop = heapq.heappop
+        limit = math.inf if until is None else until
+        cap = math.inf if max_events is None else max_events
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                ev = entry[3]
-                fn = ev.fn
-                if fn is None:
-                    heappop(heap)
-                    self._dead -= 1
-                    continue
-                time = entry[0]
-                if until is not None and time > until:
-                    break
-                heappop(heap)
-                self._live -= 1
-                ev.fn = None  # consumed; a late cancel() must be a no-op
-                self._now = time
-                fn(*ev.args)
-                self.events_executed += 1
-                executed_this_run += 1
-                if max_events is not None and executed_this_run >= max_events:
-                    break
+            # The loop itself lives on the backend (one specialized,
+            # fully inlined implementation per queue; identical execute
+            # and series semantics — see the run_loop docstrings).
+            self._q.run_loop(self, limit, cap)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
@@ -194,19 +791,13 @@ class Simulator:
 
     # ------------------------------------------------------------ internals
 
-    def _on_cancel(self) -> None:
-        """Bookkeeping for a handle cancelled while still in the heap."""
+    def _on_cancel(self, ev: Event) -> None:
+        """Bookkeeping for a handle cancelled while still queued."""
         self._live -= 1
-        self._dead += 1
-        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop every cancelled tuple and re-heapify (amortized O(n))."""
-        heap = self._heap
-        heap[:] = [entry for entry in heap if entry[3].fn is not None]
-        heapq.heapify(heap)
-        self._dead = 0
+        self._q.note_cancel(self._live)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Simulator(now={self._now:.6f}, pending={self._live})"
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self._live}, "
+            f"queue={self._q.kind})"
+        )

@@ -13,7 +13,6 @@ from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue, PacketQueue
-from repro.util.units import transmission_delay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -58,7 +57,7 @@ class SimplexLink:
         self.dst = dst
         self.bandwidth_bps = float(bandwidth_bps)
         self.delay = float(delay)
-        self.queue: PacketQueue = queue if queue is not None else DropTailQueue()
+        self.queue = queue if queue is not None else DropTailQueue()
         self.name = name if name is not None else f"{src.name}->{dst.name}"
         self._head_hooks: list[LinkHook] = []
         # The transmitter is a busy-until timestamp, not an event: a
@@ -73,6 +72,20 @@ class SimplexLink:
         self.packets_offered = 0
         self.hook_drops = 0
         self.failure_drops = 0
+
+    @property
+    def queue(self) -> PacketQueue:
+        """The link's head-of-line queue (assignable; defences swap it)."""
+        return self._queue
+
+    @queue.setter
+    def queue(self, queue: PacketQueue) -> None:
+        # Bind the per-packet queue methods once per assignment; send()
+        # and _drain() run per packet, a property/attr chain per call adds up.
+        self._queue = queue
+        self._q_enqueue = queue.enqueue
+        self._q_dequeue = queue.dequeue
+        self._q_len = queue.__len__
 
     def add_head_hook(self, hook: LinkHook) -> None:
         """Attach a hook at the link head (NS-2 Connector seam)."""
@@ -105,18 +118,23 @@ class SimplexLink:
         """Offer ``packet`` to the link.
 
         Runs head hooks, then enqueues; returns False when the link is
-        down, a hook consumed the packet, or the queue dropped it.
+        down, a hook consumed the packet, or the queue dropped it.  A
+        refused packet is dead — hooks and queues copy what they keep —
+        so it is recycled into the pool here.
         """
         self.packets_offered += 1
         if not self._up:
             self.failure_drops += 1
+            packet.release()
             return False
         now = self.sim.now
         for hook in self._head_hooks:
             if not hook.on_packet(packet, self, now):
                 self.hook_drops += 1
+                packet.release()
                 return False
-        if not self.queue.enqueue(packet, now):
+        if not self._q_enqueue(packet, now):
+            packet.release()
             return False
         if not self._drain_pending:
             if self._busy_until <= now:
@@ -128,20 +146,22 @@ class SimplexLink:
 
     def _drain(self, now: float) -> None:
         """Pull the next packet and schedule its delivery in one step."""
-        packet = self.queue.dequeue()
+        packet = self._q_dequeue()
         if packet is None:
             return
-        tx = transmission_delay(packet.size, self.bandwidth_bps)
+        # Inlined transmission_delay (same arithmetic, minus a call).
+        tx = packet.size * 8.0 / self.bandwidth_bps
         depart = now + tx
         self._busy_until = depart
         # Counted when committed to the wire: at most the one packet
         # still serializing differs from the old at-tx-complete counters.
         self.packets_sent += 1
         self.bytes_sent += packet.size
-        self.sim.schedule_at(depart + self.delay, self._deliver, packet)
-        if len(self.queue):
+        schedule_at = self.sim.schedule_at
+        schedule_at(depart + self.delay, self._deliver, packet)
+        if self._q_len():
             self._drain_pending = True
-            self.sim.schedule_at(depart, self._drain_event)
+            schedule_at(depart, self._drain_event)
 
     def _drain_event(self) -> None:
         self._drain_pending = False

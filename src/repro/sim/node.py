@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Protocol
 
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -87,32 +87,31 @@ class Router(Node):
     def receive(self, packet: Packet, via: "SimplexLink | None" = None) -> None:
         """Forward per routing table, or deliver locally."""
         self.packets_received += 1
-        now = self.sim.now
-        from repro.sim.packet import PacketType
-
-        if packet.ptype is PacketType.CONTROL and packet.dst_ip == (self.address or -1):
+        dst_ip = packet.flow.dst_ip
+        if packet.ptype is PacketType.CONTROL and dst_ip == (self.address or -1):
+            now = self.sim.now
             for handler in self._control_handlers:
                 handler.handle_packet(packet, now)
             self.packets_delivered += 1
+            packet.release()  # control handlers copy what they keep
             return
         for matches, handler in self._local_subnet_handlers:
-            if matches(packet.dst_ip):
-                handler.handle_packet(packet, now)
+            if matches(dst_ip):
+                # Local delivery handlers may forward the packet onward
+                # (e.g. down a host access link), so ownership transfers —
+                # no release here.
+                handler.handle_packet(packet, self.sim.now)
                 self.packets_delivered += 1
                 return
         self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
-        if self.routing_table is None:
-            self.packets_dropped_no_route += 1
-            return
-        next_hop = self.routing_table.next_hop(packet.dst_ip)
-        if next_hop is None:
-            self.packets_dropped_no_route += 1
-            return
-        link = self._links_out.get(next_hop)
+        table = self.routing_table
+        next_hop = table.next_hop(packet.flow.dst_ip) if table is not None else None
+        link = self._links_out.get(next_hop) if next_hop is not None else None
         if link is None:
             self.packets_dropped_no_route += 1
+            packet.release()
             return
         self.packets_forwarded += 1
         link.send(packet)
@@ -148,19 +147,24 @@ class Host(Node):
         self._default_handler = handler
 
     def receive(self, packet: Packet, via: "SimplexLink | None" = None) -> None:
-        """Dispatch to the agent bound at the packet's destination port."""
+        """Dispatch to the agent bound at the packet's destination port.
+
+        A host is a packet's terminal: after the bound agent's handler
+        returns, the packet is recycled into the pool.  Handlers must
+        copy any fields they keep (the library's sinks and senders do).
+        """
         self.packets_received += 1
         now = self.sim.now
         handler = self._port_handlers.get(packet.flow.dst_port)
-        if handler is not None:
-            handler.handle_packet(packet, now)
-            self.packets_delivered += 1
-            return
-        if self._default_handler is not None:
-            self._default_handler.handle_packet(packet, now)
-            self.packets_delivered += 1
-            return
-        self.unhandled_packets += 1
+        if handler is None:
+            handler = self._default_handler
+            if handler is None:
+                self.unhandled_packets += 1
+                packet.release()
+                return
+        handler.handle_packet(packet, now)
+        self.packets_delivered += 1
+        packet.release()
 
     def send(self, packet: Packet) -> bool:
         """Hand a locally generated packet to the gateway link."""

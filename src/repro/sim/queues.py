@@ -92,7 +92,8 @@ class DRRQueue:
                 self.drops += 1
                 return False
             victim_queue = self._queues[longest]
-            victim_queue.pop()  # drop that flow's newest packet
+            victim = victim_queue.pop()  # drop that flow's newest packet
+            victim.release()  # dead: it left the queue and no one holds it
             self.drops += 1
             self._total -= 1
             if not victim_queue:

@@ -83,18 +83,20 @@ class FlowAgent:
         packet.created_at = now
         packet.ts_val = now
         packet.is_attack = self.is_attack
+        size = packet.size  # read before send: a dropped packet is recycled
+        stats = self.stats
         sent = self.host.send(packet)
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.size
-        if self.stats.first_send_time is None:
-            self.stats.first_send_time = now
-        self.stats.last_send_time = now
+        stats.packets_sent += 1
+        stats.bytes_sent += size
+        if stats.first_send_time is None:
+            stats.first_send_time = now
+        stats.last_send_time = now
         if self.keep_send_times:
-            self.stats.send_times.append(now)
+            stats.send_times.append(now)
         return sent
 
     def _make_data(self, seq: int) -> Packet:
-        return Packet(
+        return Packet.acquire(
             flow=self.flow,
             size=self.packet_size,
             seq=seq,

@@ -85,7 +85,10 @@ class AckingSink(CountingSink):
         self.delayed_ack = float(delayed_ack)
         self._next_expected: dict[int, int] = {}  # flow_hash -> next seq
         self._ooo: dict[int, set[int]] = {}  # flow_hash -> buffered seqs
-        self._pending_ack: dict[int, Packet] = {}  # flow_hash -> last DATA
+        # flow_hash -> (flow, ts_val) of the DATA arrival holding a
+        # delayed ACK.  Scalars, not the packet: a delivered packet is
+        # recycled into the pool the moment the handler returns.
+        self._pending_ack: dict[int, tuple] = {}
         self._pending_events: dict[int, object] = {}
         self.acks_sent = 0
         self.dup_acks_sent = 0
@@ -116,7 +119,7 @@ class AckingSink(CountingSink):
             self._delayed_ack_path(packet, key, now)
         else:
             self._flush_pending(key)
-            self._send_ack(packet, frontier, now)
+            self._send_ack(packet.flow, packet.ts_val, frontier, now)
 
     def _delayed_ack_path(self, packet: Packet, key: int, now: float) -> None:
         if key in self._pending_ack:
@@ -126,30 +129,32 @@ class AckingSink(CountingSink):
                 event.cancel()
             self._pending_ack.pop(key, None)
             self.delayed_acks_coalesced += 1
-            self._send_ack(packet, self._next_expected[key], now)
+            self._send_ack(packet.flow, packet.ts_val, self._next_expected[key], now)
             return
-        self._pending_ack[key] = packet
+        self._pending_ack[key] = (packet.flow, packet.ts_val)
         self._pending_events[key] = self.sim.schedule(
             self.delayed_ack, self._ack_timer_fired, key
         )
 
     def _ack_timer_fired(self, key: int) -> None:
-        packet = self._pending_ack.pop(key, None)
+        pending = self._pending_ack.pop(key, None)
         self._pending_events.pop(key, None)
-        if packet is None:
+        if pending is None:
             return
-        self._send_ack(packet, self._next_expected.get(key, 0), self.sim.now)
+        flow, ts_val = pending
+        self._send_ack(flow, ts_val, self._next_expected.get(key, 0), self.sim.now)
 
     def _flush_pending(self, key: int) -> None:
         """Release any held ACK before answering out-of-order traffic."""
-        packet = self._pending_ack.pop(key, None)
+        pending = self._pending_ack.pop(key, None)
         event = self._pending_events.pop(key, None)
         if event is not None:
             event.cancel()
-        if packet is not None:
-            self._send_ack(packet, self._next_expected.get(key, 0), self.sim.now)
+        if pending is not None:
+            flow, ts_val = pending
+            self._send_ack(flow, ts_val, self._next_expected.get(key, 0), self.sim.now)
 
-    def _send_ack(self, data_packet: Packet, ack_seq: int, now: float) -> None:
-        ack = data_packet.make_ack(ack_seq, now, size=self.ack_size)
+    def _send_ack(self, flow, data_ts_val: float, ack_seq: int, now: float) -> None:
+        ack = Packet.build_ack(flow, data_ts_val, ack_seq, now, size=self.ack_size)
         self.acks_sent += 1
         self.host.send(ack)

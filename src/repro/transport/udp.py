@@ -3,18 +3,49 @@
 These agents ignore everything the network tells them — exactly the
 behaviour that distinguishes a zombie (or a non-congestion-controlled
 media stream) from a conforming TCP source under MAFIC's probe.
+
+Tick generation is **batched** (PR 4): instead of one self-rescheduling
+event per packet, a sender precomputes its departure times per horizon
+chunk and rides a single reusable
+:class:`~repro.sim.engine.SeriesEvent`.  Each departure still executes as
+its own event (the interleaving with link/transport events is what the
+paper's physics runs on), but the per-tick schedule call, event
+allocation, and RNG scalar draw disappear.  Results are bit-identical
+because the draws come from the same streams in the same order:
+
+* ``jitter == 0`` — departure times are pure float arithmetic (the same
+  repeated additions the unbatched loop performed); always batchable.
+* ``jitter > 0`` with an **exclusive** RNG stream (nothing else draws
+  from it during the run — the per-flow ``("legit", "udp", i)`` streams)
+  — jitter factors are drawn in bulk, value ``i`` still maps to gap
+  ``i``; numpy's bulk ``random(n)`` consumes the bit generator exactly
+  like ``n`` scalar calls.
+* ``jitter > 0`` on a **shared** stream (all zombies draw from the one
+  ``"attack"`` stream, interleaved in event order) — departures cannot
+  be precomputed per sender, but the scalar draw is served from a shared
+  :class:`~repro.util.rng.UniformBuffer` that prefetches the stream and
+  hands out values in the same global tick order.
+
+On-off bursts batch unconditionally: the burst's departure times depend
+only on the on-duration drawn at burst start, and the off/on draws keep
+their positions at the phase boundaries.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.perf import FLAGS
 from repro.sim.packet import FlowKey, Packet
 from repro.transport.flow import FlowAgent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import SeriesEvent, Simulator
     from repro.sim.node import Host
+    from repro.util.rng import UniformBuffer
+
+#: Departure times precomputed per series chunk.
+_CHUNK = 256
 
 
 class CbrSender(FlowAgent):
@@ -25,6 +56,12 @@ class CbrSender(FlowAgent):
     zombie rewrite the claimed source address of each packet (the flow key
     stays fixed unless the spoofer varies it — MAFIC tracks flows by the
     4-tuple, so per-packet source rotation creates *new* flows).
+
+    ``exclusive_rng=True`` declares that nothing else draws from ``rng``
+    while this sender runs, unlocking fully precomputed (batched)
+    departure times; ``jitter_buffer`` provides the shared-stream
+    prefetch path instead (see module docstring).  Both default off, so a
+    bare construction behaves exactly like the unbatched original.
     """
 
     def __init__(
@@ -39,6 +76,8 @@ class CbrSender(FlowAgent):
         rng=None,
         spoof: Callable[[Packet], Packet] | None = None,
         keep_send_times: bool = False,
+        exclusive_rng: bool = False,
+        jitter_buffer: "UniformBuffer | None" = None,
     ) -> None:
         super().__init__(sim, host, flow, packet_size, is_attack=is_attack,
                          keep_send_times=keep_send_times)
@@ -53,6 +92,10 @@ class CbrSender(FlowAgent):
         self._rng = rng
         self._spoof = spoof
         self._seq = 0
+        self._exclusive_rng = bool(exclusive_rng)
+        self._jitter_buffer = jitter_buffer
+        self._use_buffer = False
+        self._series: "SeriesEvent | None" = None
 
     @property
     def interval(self) -> float:
@@ -65,23 +108,72 @@ class CbrSender(FlowAgent):
             raise RuntimeError("sender already started")
         self.started = True
         when = self.sim.now if at is None else at
-        self.sim.schedule_at(when, self._tick)
+        if FLAGS.batched_sources and (self.jitter == 0.0 or self._exclusive_rng):
+            times = [when]
+            times.extend(self._next_gaps(when, _CHUNK))
+            self._series = self.sim.schedule_series(times, self._series_tick)
+        else:
+            self._use_buffer = (
+                FLAGS.batched_sources
+                and self.jitter > 0
+                and self._jitter_buffer is not None
+            )
+            self.sim.schedule_at(when, self._tick)
 
     def handle_packet(self, packet: Packet, now: float) -> None:
         """Ignore all feedback (ACKs, probes): unresponsive by design."""
         self.stats.acks_received += 1
 
-    def _tick(self) -> None:
-        if self.stopped:
-            return
+    # ------------------------------------------------------------ emission
+
+    def _emit_one(self) -> None:
         packet = self._make_data(self._seq)
         self._seq += 1
         if self._spoof is not None:
             packet = self._spoof(packet)
         self._emit(packet)
+
+    def _next_gaps(self, last_time: float, count: int) -> list[float]:
+        """The next ``count`` departure times after ``last_time``.
+
+        Same arithmetic as the unbatched loop: each time is the previous
+        one plus ``interval * (1 + jitter * (2u - 1))``, with the jitter
+        factors drawn in bulk from this sender's (exclusive) stream.
+        """
+        interval = self.interval
+        jitter = self.jitter
+        times: list[float] = []
+        t = last_time
+        if jitter == 0.0:
+            for _ in range(count):
+                t = t + interval
+                times.append(t)
+        else:
+            for u in self._rng.random(count):
+                t = t + interval * (1.0 + jitter * (2.0 * float(u) - 1.0))
+                times.append(t)
+        return times
+
+    def _series_tick(self) -> None:
+        if self.stopped:
+            self._series.stop()
+            return
+        self._emit_one()
+        series = self._series
+        if series.index + 1 >= len(series.times):
+            series.extend(self._next_gaps(series.times[-1], _CHUNK))
+
+    def _tick(self) -> None:
+        if self.stopped:
+            return
+        self._emit_one()
         gap = self.interval
         if self.jitter > 0:
-            gap *= 1.0 + self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+            if self._use_buffer:
+                u = self._jitter_buffer.next()
+            else:
+                u = float(self._rng.random())
+            gap *= 1.0 + self.jitter * (2.0 * u - 1.0)
         self.sim.schedule(gap, self._tick)
 
     def _emit(self, packet: Packet) -> bool:
@@ -154,8 +246,52 @@ class OnOffSender(CbrSender):
         if self.stopped:
             return
         self._on = True
-        self._phase_ends = self.sim.now + self._draw_on()
-        self._tick()
+        now = self.sim.now
+        self._phase_ends = now + self._draw_on()
+        if not FLAGS.batched_sources:
+            self._tick()
+            return
+        # Batched burst: the first emission happens inline (mirroring the
+        # unbatched direct _tick() call); subsequent departures ride a
+        # series at one nominal interval apart — no draws are moved, so
+        # this is bit-exact even on a shared RNG stream.
+        if now >= self._phase_ends:
+            self._on = False
+            self.sim.schedule(self._draw_off(), self._start_burst)
+            return
+        self._emit_one()
+        self._series = self.sim.schedule_series(
+            self._burst_chunk(now), self._burst_tick
+        )
+
+    def _burst_chunk(self, last_time: float) -> list[float]:
+        """Departure times after ``last_time``, through the first instant
+        at or past the phase end (where the off transition fires)."""
+        interval = self.interval
+        end = self._phase_ends
+        times: list[float] = []
+        t = last_time
+        for _ in range(_CHUNK):
+            t = t + interval
+            times.append(t)
+            if t >= end:
+                break
+        return times
+
+    def _burst_tick(self) -> None:
+        if self.stopped:
+            self._series.stop()
+            return
+        now = self.sim.now
+        if now >= self._phase_ends:
+            self._series.stop()
+            self._on = False
+            self.sim.schedule(self._draw_off(), self._start_burst)
+            return
+        self._emit_one()
+        series = self._series
+        if series.index + 1 >= len(series.times):
+            series.extend(self._burst_chunk(series.times[-1]))
 
     def _tick(self) -> None:
         if self.stopped:
@@ -166,9 +302,5 @@ class OnOffSender(CbrSender):
             self._on = False
             self.sim.schedule(self._draw_off(), self._start_burst)
             return
-        packet = self._make_data(self._seq)
-        self._seq += 1
-        if self._spoof is not None:
-            packet = self._spoof(packet)
-        self._emit(packet)
+        self._emit_one()
         self.sim.schedule(self.interval, self._tick)

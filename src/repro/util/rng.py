@@ -26,6 +26,59 @@ def derive_seed(root_seed: int, *names: int | str) -> int:
     return stable_hash64(root_seed, *names)
 
 
+class UniformBuffer:
+    """Prefetched uniform draws from one generator, served in order.
+
+    ``next()`` is bit-identical to ``float(rng.random())`` call-for-call:
+    numpy's bulk ``random(n)`` consumes the bit generator exactly like
+    ``n`` scalar calls, so consumers sharing one stream (e.g. every
+    zombie's tick jitter drawing from the one ``"attack"`` stream) see
+    the same values in the same global order — just without a numpy
+    scalar-dispatch round trip per draw.
+
+    The first fill is lazy, so a buffer created at build time consumes
+    nothing from the stream until the first in-run draw.
+    """
+
+    __slots__ = ("_rng", "_chunk", "_values", "_index")
+
+    def __init__(self, rng, chunk: int = 256) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self._rng = rng
+        self._chunk = chunk
+        self._values = ()
+        self._index = 0
+
+    def next(self) -> float:
+        """The next uniform [0, 1) draw from the underlying stream."""
+        i = self._index
+        if i >= len(self._values):
+            self._values = self._rng.random(self._chunk)
+            i = 0
+        self._index = i + 1
+        return float(self._values[i])
+
+
+class UniformSource:
+    """Adapter giving a :class:`UniformBuffer` the ``rng.random()`` shape.
+
+    Lets code written against ``Generator.random()`` (e.g. the drop
+    policies' Bernoulli gates) draw from a shared prefetched buffer; the
+    holder of the buffer guarantees every consumer of the underlying
+    stream goes through it, so the draw order is preserved exactly.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, buffer: UniformBuffer) -> None:
+        self._next = buffer.next
+
+    def random(self) -> float:
+        """The next uniform [0, 1) draw from the shared buffer."""
+        return self._next()
+
+
 class RngRegistry:
     """A factory of named :class:`numpy.random.Generator` streams.
 

@@ -33,10 +33,16 @@ def _hexed_summary(result) -> dict:
     }
 
 
+@pytest.mark.parametrize("queue", ["heap", "calendar"])
 @pytest.mark.parametrize("seed", [1, 2])
-def test_paper_default_matches_recorded_summary(seed):
+def test_paper_default_matches_recorded_summary(seed, queue):
+    """Both scheduler backends must reproduce the pinned fixture
+    bit-exactly — the calendar queue's flip-in is gated on this proof."""
+    from repro.perf import engine_mode
+
     golden = json.loads(FIXTURE.read_text())[str(seed)]
-    result = run_experiment(paper_default().with_overrides(seed=seed))
+    with engine_mode(queue=queue):
+        result = run_experiment(paper_default().with_overrides(seed=seed))
     assert _hexed_summary(result) == golden["summary"]
     assert result.events_executed == golden["events_executed"]
     assert sorted(result.identified_atrs) == golden["identified_atrs"]
@@ -46,3 +52,15 @@ def test_paper_default_matches_recorded_summary(seed):
         assert result.activation_time is None
     else:
         assert result.activation_time.hex() == recorded
+
+
+def test_legacy_engine_mode_matches_recorded_summary():
+    """The pre-overhaul formulation (no pool, unbatched ticks, no caches)
+    still reproduces the fixture: the overhaul changed no physics."""
+    from repro.perf import legacy_mode
+
+    golden = json.loads(FIXTURE.read_text())["1"]
+    with legacy_mode():
+        result = run_experiment(paper_default().with_overrides(seed=1))
+    assert _hexed_summary(result) == golden["summary"]
+    assert result.events_executed == golden["events_executed"]

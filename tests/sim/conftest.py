@@ -1,0 +1,20 @@
+"""Simulator fixtures for the sim-layer tests.
+
+Overrides the top-level ``sim`` fixture to run every engine-facing test
+against BOTH queue backends: the two implementations must expose the
+identical ``(time, priority, seq)`` semantics, so any behavioural test
+that passes on one and fails on the other is a backend bug by
+definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request) -> Simulator:
+    """A fresh simulator clock, once per queue backend."""
+    return Simulator(queue=request.param)

@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.packet import FlowKey, Packet, PacketType, reset_packet_ids
+from repro.sim.packet import (
+    FlowKey,
+    Packet,
+    PacketType,
+    enable_packet_pool,
+    packet_pool_stats,
+    reset_packet_ids,
+)
 
 ports = st.integers(min_value=0, max_value=0xFFFF)
 ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
@@ -83,3 +90,134 @@ class TestPacket:
 
     def test_attack_flag_defaults_false(self):
         assert not Packet(flow=FlowKey(1, 2, 3, 4)).is_attack
+
+
+class TestFlowKeyCaches:
+    def test_reversed_is_memoized_both_ways(self):
+        k = FlowKey(1, 2, 3, 4)
+        r = k.reversed()
+        assert r is k.reversed()
+        assert r.reversed() is k
+
+    def test_hash_is_precomputed_attribute(self):
+        k = FlowKey(1, 2, 3, 4)
+        assert k._hash64 == k.hashed()
+        assert hash(k) == k.hashed()
+
+    def test_equality_and_ordering_match_field_tuples(self):
+        a, b = FlowKey(1, 2, 3, 4), FlowKey(1, 2, 3, 4)
+        assert a == b and not (a != b)
+        assert a != FlowKey(1, 2, 4, 3)
+        keys = [FlowKey(2, 1, 1, 1), FlowKey(1, 2, 3, 4), FlowKey(1, 2, 3, 3)]
+        assert sorted(keys) == [
+            FlowKey(1, 2, 3, 3), FlowKey(1, 2, 3, 4), FlowKey(2, 1, 1, 1)
+        ]
+
+    def test_ordering_against_other_types_raises_type_error(self):
+        with pytest.raises(TypeError):
+            FlowKey(1, 2, 3, 4) < 5  # noqa: B015 - the comparison IS the test
+        assert FlowKey(1, 2, 3, 4) != 5
+
+    def test_usable_as_dict_key(self):
+        table = {FlowKey(1, 2, 3, 4): "x"}
+        assert table[FlowKey(1, 2, 3, 4)] == "x"
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        k = FlowKey(9, 8, 7, 6)
+        clone = pickle.loads(pickle.dumps(k))
+        assert clone == k and clone.hashed() == k.hashed()
+
+
+@pytest.fixture
+def pool():
+    """Enable the packet pool for one test, always disabling after."""
+    enable_packet_pool(True)
+    yield
+    enable_packet_pool(False)
+
+
+class TestPacketPool:
+    def test_release_is_noop_while_disabled(self):
+        before = packet_pool_stats()
+        p = Packet(flow=FlowKey(1, 2, 3, 4))
+        p.release()
+        p.release()  # no pool, no double-release bookkeeping
+        after = packet_pool_stats()
+        assert after["released"] == before["released"]
+        assert after["free"] == 0
+
+    def test_acquire_reuses_released_packets(self, pool):
+        p = Packet.acquire(flow=FlowKey(1, 2, 3, 4))
+        p.release()
+        q = Packet.acquire(flow=FlowKey(5, 6, 7, 8))
+        assert q is p
+        stats = packet_pool_stats()
+        assert stats["reused"] == 1 and stats["released"] == 1
+
+    def test_reuse_never_leaks_a_stale_field(self, pool):
+        """Every field of a recycled packet must be reset — a stale
+        ``is_attack`` or timestamp would silently corrupt metrics."""
+        dirty = Packet.acquire(
+            flow=FlowKey(1, 2, 3, 4), ptype=PacketType.DUP_ACK, size=40,
+            seq=77, ack=88, ts_val=1.5, ts_ecr=2.5, created_at=3.5,
+            is_attack=True,
+        )
+        dirty.hop_count = 9
+        dirty.ingress_router = "atr3"
+        dirty._uid_hash = 123456  # pretend a sketch hashed it
+        old_uid = dirty.uid
+        dirty.release()
+
+        fresh = Packet.acquire(flow=FlowKey(9, 9, 9, 9))
+        assert fresh is dirty  # recycled object...
+        assert fresh.flow == FlowKey(9, 9, 9, 9)  # ...with no stale field
+        assert fresh.ptype is PacketType.DATA
+        assert fresh.size == 1000
+        assert fresh.seq == 0 and fresh.ack == 0
+        assert fresh.ts_val == 0.0 and fresh.ts_ecr == 0.0
+        assert fresh.created_at == 0.0
+        assert not fresh.is_attack
+        assert fresh.hop_count == 0
+        assert fresh.ingress_router is None
+        assert fresh._uid_hash is None
+        assert fresh.uid == old_uid + 1  # fresh identity for the sketches
+
+    def test_double_release_raises(self, pool):
+        p = Packet.acquire(flow=FlowKey(1, 2, 3, 4))
+        p.release()
+        with pytest.raises(RuntimeError, match="double release"):
+            p.release()
+
+    def test_uid_sequence_identical_with_and_without_pool(self):
+        reset_packet_ids()
+        unpooled = [Packet(flow=FlowKey(1, 2, 3, 4)).uid for _ in range(5)]
+        reset_packet_ids()
+        enable_packet_pool(True)
+        try:
+            pooled = []
+            for _ in range(5):
+                p = Packet.acquire(flow=FlowKey(1, 2, 3, 4))
+                pooled.append(p.uid)
+                p.release()
+        finally:
+            enable_packet_pool(False)
+        assert pooled == unpooled
+
+    def test_acquire_validates_size(self, pool):
+        Packet.acquire(flow=FlowKey(1, 2, 3, 4)).release()
+        with pytest.raises(ValueError):
+            Packet.acquire(flow=FlowKey(1, 2, 3, 4), size=0)
+
+    def test_rejected_acquire_is_side_effect_free(self, pool):
+        """A size-rejected acquire must not pop the pool, skew the
+        counters, or leak the recycled object half-reset."""
+        p = Packet.acquire(flow=FlowKey(1, 2, 3, 4))
+        p.release()
+        before = packet_pool_stats()
+        with pytest.raises(ValueError):
+            Packet.acquire(flow=FlowKey(5, 6, 7, 8), size=-1)
+        assert packet_pool_stats() == before
+        q = Packet.acquire(flow=FlowKey(5, 6, 7, 8))
+        assert q is p  # the pooled packet is still available and intact
