@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Prove summary-only report cost scales with artifact COUNT, not
+series LENGTH, and record it as BENCH_store_scale.json.
+
+Builds fabricated (simulation-free) campaign stores with identical
+summaries but wildly different bandwidth-series lengths, then times
+``campaign_report`` — the summary-only path — against each:
+
+* schema-2 store, short series (a handful of samples per run);
+* schema-2 store, long series (hundreds of times more samples);
+* schema-1 store (flat layout, series INLINE in each artifact) with the
+  same long series — what every report paid before the sidecar layout.
+
+Schema 2 files the series in ``.series.json`` sidecars, so the two
+schema-2 reports parse byte-identical summary documents: their times
+differ only by noise no matter the series length, while the schema-1
+inline store pays to parse every sample it will never read.  The
+invariants (checked always, and the only thing ``--check`` gates on —
+never wall time):
+
+* zero sidecar opens during summary-only reports;
+* the short- and long-series schema-2 reports are byte-identical;
+* migrating the schema-1 store leaves its report byte-identical.
+
+Run:   PYTHONPATH=src python benchmarks/bench_store_scale.py
+CI:    PYTHONPATH=src python benchmarks/bench_store_scale.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, CampaignStore, campaign_report, open_store
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.rates import MetricsSummary
+from repro.metrics.timeseries import BandwidthSeries
+
+
+def build_spec(n_points: int, n_seeds: int) -> CampaignSpec:
+    values = tuple(
+        round(0.1 + 0.8 * i / max(1, n_points - 1), 6) for i in range(n_points)
+    )
+    return CampaignSpec(
+        name="bench-store-scale",
+        seeds=tuple(range(1, n_seeds + 1)),
+        base={
+            "total_flows": 10,
+            "n_routers": 6,
+            "duration": 1.5,
+            "topology": "star",
+        },
+        axes=({"field": "attack_fraction", "values": values},),
+    )
+
+
+def fabricate(config: ExperimentConfig, series_len: int) -> ExperimentResult:
+    """A deterministic fake result whose summary depends only on the
+    config (so reports are comparable across stores) and whose series
+    length is the experiment variable."""
+    seed = config.seed
+    summary = MetricsSummary(
+        accuracy=0.90 + 0.001 * seed,
+        traffic_reduction=0.80,
+        false_positive_rate=0.001 * seed,
+        false_negative_rate=0.10 - 0.001 * seed,
+        legit_drop_rate=0.002 * seed,
+        attack_examined=100 * seed,
+        attack_dropped=90 * seed,
+        wellbehaved_examined=50,
+        wellbehaved_dropped=1,
+        wellbehaved_pdt_drops=1,
+        total_examined=100 * seed + 50,
+        victim_rate_before_bps=1e6,
+        victim_rate_after_bps=2e5,
+    )
+    times = [round(0.05 * (i + 1), 6) for i in range(series_len)]
+    series = BandwidthSeries(
+        times=times,
+        total_kbps=[100.0 + (i % 17) for i in range(series_len)],
+        attack_kbps=[60.0 + (i % 11) for i in range(series_len)],
+        legit_kbps=[40.0 + (i % 7) for i in range(series_len)],
+    )
+    return ExperimentResult(
+        config=config,
+        summary=summary,
+        series=series,
+        scenario=None,
+        activation_time=1.25,
+        identified_atrs={"ingress0"},
+        true_atrs={"ingress0", "ingress1"},
+        events_executed=1000 + seed,
+        wall_seconds=0.1,
+    )
+
+
+def populate(spec: CampaignSpec, root: Path, series_len: int) -> CampaignStore:
+    store = open_store(spec, root).ensure()
+    store.write_manifest(spec.to_dict(), series_bin_width=0.05)
+    for planned in spec.plan():
+        store.write_result(
+            fabricate(planned.config, series_len),
+            point=planned.point,
+            series_bin_width=0.05,
+        )
+    return store
+
+
+def timed_report(spec: CampaignSpec, root: Path, reps: int = 3) -> tuple:
+    """(best wall seconds, report payload) with sidecar opens counted."""
+    opens = 0
+    original = CampaignStore._read_series_payload
+
+    def counting(self, run_path, run_id):
+        nonlocal opens
+        opens += 1
+        return original(self, run_path, run_id)
+
+    CampaignStore._read_series_payload = counting
+    try:
+        best, report = None, None
+        for _ in range(reps):
+            started = time.perf_counter()
+            report = campaign_report(spec, root)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    finally:
+        CampaignStore._read_series_payload = original
+    return best, report, opens
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=50,
+                        help="axis points (runs = points x seeds)")
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument("--short-series", type=int, default=4,
+                        help="samples per series in the short store")
+    parser.add_argument("--long-series", type=int, default=2048,
+                        help="samples per series in the long store")
+    parser.add_argument("--check", action="store_true",
+                        help="tiny scale, assert invariants only "
+                        "(CI smoke; never gates on wall time)")
+    parser.add_argument(
+        "--out", type=str,
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_store_scale.json"),
+    )
+    args = parser.parse_args()
+    if args.check:
+        args.points, args.seeds = 5, 2
+        args.long_series = 256
+
+    spec = build_spec(args.points, args.seeds)
+    n_runs = len(spec.plan())
+    print(f"{n_runs} runs; series {args.short_series} vs "
+          f"{args.long_series} samples")
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        tmp = Path(tmp)
+        print("populating schema-2 stores (short, long) and the "
+              "schema-1 inline store...")
+        populate(spec, tmp / "short", args.short_series)
+        long_store = populate(spec, tmp / "long", args.long_series)
+
+        # The pre-sidecar layout: downgrade a copy of the long store.
+        import shutil
+        import sys
+
+        shutil.copytree(long_store.directory,
+                        tmp / "inline" / spec.name)
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+        from tests.campaign.schema1 import downgrade_store
+
+        downgrade_store(tmp / "inline" / spec.name)
+
+        short_s, short_report, short_opens = timed_report(spec, tmp / "short")
+        long_s, long_report, long_opens = timed_report(spec, tmp / "long")
+        inline_s, inline_report, _ = timed_report(spec, tmp / "inline")
+
+        # Invariants -------------------------------------------------
+        assert short_report["complete"] == n_runs
+        assert short_opens == 0 and long_opens == 0, (
+            "summary-only report opened a series sidecar"
+        )
+        short_bytes = json.dumps(short_report, sort_keys=True)
+        assert short_bytes == json.dumps(long_report, sort_keys=True), (
+            "series length leaked into the summary-only report"
+        )
+        assert short_bytes == json.dumps(inline_report, sort_keys=True), (
+            "schema-1 store reports differently through the v2 reader"
+        )
+        migrated = CampaignStore(tmp / "inline" / spec.name).migrate()
+        assert migrated.migrated == n_runs
+        post_s, post_report, post_opens = timed_report(spec, tmp / "inline")
+        assert post_opens == 0
+        assert short_bytes == json.dumps(post_report, sort_keys=True), (
+            "migration changed the report"
+        )
+        print("invariants hold: 0 sidecar opens; short/long/inline/"
+              "migrated reports byte-identical")
+
+    ratio = long_s / max(1e-9, short_s)
+    inline_ratio = inline_s / max(1e-9, long_s)
+    print(f"summary-only report over {n_runs} artifacts:")
+    print(f"  schema-2 short series : {short_s * 1e3:8.1f} ms")
+    print(f"  schema-2 long series  : {long_s * 1e3:8.1f} ms "
+          f"({ratio:.2f}x short — independent of series length)")
+    print(f"  schema-1 inline series: {inline_s * 1e3:8.1f} ms "
+          f"({inline_ratio:.1f}x the sidecar layout)")
+    print(f"  schema-2 post-migrate : {post_s * 1e3:8.1f} ms")
+
+    if args.check:
+        print("--check passed")
+        return 0
+
+    record = {
+        "benchmark": "store_scale",
+        "runs": n_runs,
+        "axis_points": args.points,
+        "seeds": args.seeds,
+        "short_series_samples": args.short_series,
+        "long_series_samples": args.long_series,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "report_short_seconds": round(short_s, 4),
+        "report_long_seconds": round(long_s, 4),
+        "report_inline_schema1_seconds": round(inline_s, 4),
+        "report_post_migrate_seconds": round(post_s, 4),
+        "long_over_short_ratio": round(ratio, 3),
+        "inline_over_sidecar_ratio": round(inline_ratio, 1),
+        "sidecar_opens_during_reports": 0,
+    }
+    Path(args.out).write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from repro.campaign.orchestrator import (
     DEFAULT_ROOT,
     CampaignRunReport,
     CampaignStatus,
+    campaign_gc,
     campaign_status,
     open_store,
     run_campaign,
@@ -25,6 +26,7 @@ from repro.campaign.orchestrator import (
 from repro.campaign.query import (
     REPORT_METRICS,
     aggregate_by_point,
+    campaign_figures,
     campaign_report,
     group_by_point,
     load_runs,
@@ -39,11 +41,15 @@ from repro.campaign.spec import (
     PlannedRun,
 )
 from repro.campaign.store import (
+    READ_SCHEMAS,
     STORE_SCHEMA,
     CampaignStore,
+    GCReport,
+    MigrationReport,
     StoreCache,
     StoredRun,
     StoreError,
+    migrate_store,
 )
 
 __all__ = [
@@ -54,17 +60,23 @@ __all__ = [
     "CampaignStatus",
     "CampaignStore",
     "DEFAULT_ROOT",
+    "GCReport",
+    "MigrationReport",
     "PlannedRun",
+    "READ_SCHEMAS",
     "REPORT_METRICS",
     "STORE_SCHEMA",
     "StoreCache",
     "StoreError",
     "StoredRun",
     "aggregate_by_point",
+    "campaign_figures",
+    "campaign_gc",
     "campaign_report",
     "campaign_status",
     "group_by_point",
     "load_runs",
+    "migrate_store",
     "open_store",
     "report_rows",
     "run_campaign",

@@ -2,33 +2,43 @@
 
 ::
 
-    python -m repro campaign run    spec.toml [--root DIR] [--jobs N]
-    python -m repro campaign resume spec.toml [--root DIR] [--jobs N]
-    python -m repro campaign status spec.toml [--root DIR]
-    python -m repro campaign report spec.toml [--json F] [--csv F]
+    python -m repro campaign run     spec.toml [--root DIR] [--jobs N]
+    python -m repro campaign resume  spec.toml [--root DIR] [--jobs N]
+    python -m repro campaign status  spec.toml [--root DIR]
+    python -m repro campaign report  spec.toml [--json F] [--csv F]
+    python -m repro campaign figures spec.toml [--root DIR] [--out DIR]
+    python -m repro campaign gc      spec.toml [--root DIR] [--apply]
+    python -m repro campaign migrate <store-dir>
 
 ``run`` and ``resume`` are the same operation — plan, skip every run
 whose artifact exists, execute the rest — except that ``resume`` insists
 the store already exists (catching a mistyped ``--root`` before it
 silently recomputes everything).  ``status`` exits 0 only when the
-campaign is complete, so CI can gate on it.
+campaign is complete, so CI can gate on it.  ``figures`` regenerates
+the campaign's figure set from stored artifacts without re-simulating;
+``gc`` prunes unplanned artifacts, orphaned sidecars, and leftover
+temp files (dry-run unless ``--apply``); ``migrate`` rewrites a
+schema-1 store into the sharded sidecar layout in place — it takes the
+store *directory*, not a spec, since old stores may outlive their spec
+files.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+from pathlib import Path
 
 from repro.campaign.orchestrator import (
     DEFAULT_ROOT,
+    campaign_gc,
     campaign_status,
     open_store,
     run_campaign,
 )
-from repro.campaign.query import campaign_report, report_rows
+from repro.campaign.query import campaign_figures, campaign_report, report_rows
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import StoreError
+from repro.campaign.store import StoreError, migrate_store
 from repro.util.registry import UnknownComponentError
 
 
@@ -82,9 +92,46 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
                    help="write the per-point table as CSV")
     p.add_argument("--confidence", type=float, default=0.95)
 
+    p = csub.add_parser(
+        "figures",
+        help="regenerate the campaign's figures from stored runs "
+        "(no simulation)",
+    )
+    common(p)
+    p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default: <store>/figures)",
+    )
+
+    p = csub.add_parser(
+        "gc",
+        help="prune unplanned artifacts, orphan sidecars, and temp files",
+    )
+    common(p)
+    p.add_argument(
+        "--apply", action="store_true",
+        help="actually delete (default: dry run, print what would go)",
+    )
+
+    p = csub.add_parser(
+        "migrate",
+        help="rewrite a schema-1 store into the sharded sidecar layout",
+    )
+    p.add_argument(
+        "store_dir",
+        help="campaign store directory (e.g. campaigns/<name>)",
+    )
+
 
 def cmd(args: argparse.Namespace) -> int:
     """Dispatch a parsed ``campaign`` invocation; returns the exit code."""
+    if args.campaign_command == "migrate":
+        # The one spec-less verb: it operates on a store directory.
+        try:
+            return _cmd_migrate(args)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         spec = CampaignSpec.load(args.spec)
     except (ValueError, TypeError, OSError) as exc:
@@ -97,6 +144,10 @@ def cmd(args: argparse.Namespace) -> int:
             return _cmd_run(spec, args)
         if args.campaign_command == "status":
             return _cmd_status(spec, args)
+        if args.campaign_command == "figures":
+            return _cmd_figures(spec, args)
+        if args.campaign_command == "gc":
+            return _cmd_gc(spec, args)
         return _cmd_report(spec, args)
     except (ValueError, TypeError, UnknownComponentError, StoreError) as exc:
         # ValueError covers CampaignSpecError plus orchestrator argument
@@ -184,6 +235,69 @@ def _cmd_report(spec: CampaignSpec, args: argparse.Namespace) -> int:
 
         write_rows_csv(rows, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_figures(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    from repro.analysis.export import figure_to_dict, write_csv, write_json
+    from repro.experiments.reporting import format_figure
+
+    figures = campaign_figures(spec, args.root)
+    if not figures:
+        print(
+            "no figures to regenerate (no completed runs, or no numeric "
+            "axes to plot against)",
+            file=sys.stderr,
+        )
+        return 1
+    store = open_store(spec, args.root)
+    out_dir = Path(args.out) if args.out else store.directory / "figures"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for figure in figures:
+        stem = out_dir / figure.figure_id
+        stem.with_suffix(".txt").write_text(
+            format_figure(figure) + "\n", encoding="utf-8"
+        )
+        write_csv(figure, stem.with_suffix(".csv"))
+        write_json(figure_to_dict(figure), stem.with_suffix(".json"))
+        n_series = len(figure.series)
+        print(
+            f"  {figure.figure_id}: {n_series} series "
+            f"({stem.with_suffix('.txt').name}, .csv, .json)"
+        )
+    print(f"wrote {len(figures)} figures to {out_dir}")
+    return 0
+
+
+def _cmd_gc(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    report = campaign_gc(spec, args.root, apply=args.apply)
+    store_dir = report.store_dir
+    for label, paths in (
+        ("unplanned artifact", report.unplanned),
+        ("orphan sidecar", report.orphan_sidecars),
+        ("temp file", report.tmp_files),
+    ):
+        for path in sorted(paths):
+            verb = "deleted" if report.applied else "would delete"
+            print(f"  {verb} {label}: {path.relative_to(store_dir)}")
+    n = len(report.paths)
+    if report.applied:
+        print(f"gc: deleted {n} files from {store_dir}")
+    else:
+        print(
+            f"gc: dry run, {n} files would be deleted from {store_dir} "
+            "(pass --apply to delete)"
+        )
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    report = migrate_store(args.store_dir)
+    print(
+        f"migrated {report.migrated} artifacts to the schema-2 sharded "
+        f"sidecar layout ({report.already_current} already current) "
+        f"in {report.store_dir}"
+    )
     return 0
 
 

@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.campaign.spec import CampaignSpec, PlannedRun
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import CampaignStore, GCReport, StoreError
 from repro.experiments.parallel import default_jobs, run_batch
 
 #: Default artifact root, relative to the working directory.
@@ -84,6 +84,33 @@ def campaign_status(
         complete=len(plan) - len(missing),
         missing=missing,
         unplanned=len(on_disk - planned_ids),
+    )
+
+
+def campaign_gc(
+    spec: CampaignSpec,
+    root: str | Path = DEFAULT_ROOT,
+    apply: bool = False,
+    min_debris_age_seconds: float = 3600.0,
+) -> GCReport:
+    """Prune store debris the current spec's plan no longer references.
+
+    Doomed: artifacts for cells the plan dropped (old axis points, old
+    seeds), sidecars orphaned by a crash between the two artifact
+    writes, and leftover atomic-write temp files — the latter two only
+    when older than ``min_debris_age_seconds``, so gc run next to live
+    workers never unlinks an in-flight write.  Planned artifacts and
+    the manifest are never touched; a spec that still plans a pruned
+    cell just re-executes it on the next resume — nothing else re-runs.
+    Dry-run by default; pass ``apply=True`` to delete.
+    """
+    store = open_store(spec, root)
+    if not store.exists():
+        raise StoreError(f"no campaign store at {store.directory}")
+    planned_ids = {run.run_id for run in spec.plan()}
+    return store.gc(
+        planned_ids, apply=apply,
+        min_debris_age_seconds=min_debris_age_seconds,
     )
 
 

@@ -18,6 +18,7 @@ from repro.analysis.aggregate import AggregatedMetrics, aggregate_runs
 from repro.campaign.orchestrator import DEFAULT_ROOT, open_store
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore, StoredRun
+from repro.experiments.figures import FigureResult, figure_from_table
 from repro.experiments.sweeps import SweepPoint, SweepResult
 
 #: The headline metrics reports tabulate, in paper order.
@@ -222,15 +223,18 @@ def report_rows(report: dict) -> list[list[Any]]:
 
 
 def runs_where(
-    store: CampaignStore, **field_equals: Any
+    store: CampaignStore, load_series: bool = True, **field_equals: Any
 ) -> list[StoredRun]:
     """Ad-hoc store query: runs whose config fields equal the given values.
 
     ``runs_where(store, defense="mafic", seed=3)`` — answers "which
     completed runs do I already have for config X?" without a spec.
+    ``load_series=False`` makes the scan summary-only: the store never
+    materializes a bandwidth series (and, schema 2, never opens a
+    sidecar), so filtering a huge store on config fields stays cheap.
     """
     matches = []
-    for run in store.iter_runs():
+    for run in store.iter_runs(load_series=load_series):
         config = run.config
         if all(
             getattr(config, field) == value
@@ -238,3 +242,62 @@ def runs_where(
         ):
             matches.append(run)
     return matches
+
+
+def campaign_figures(
+    spec: CampaignSpec,
+    root: str | Path = DEFAULT_ROOT,
+    metrics: tuple[str, ...] = REPORT_METRICS,
+) -> list[FigureResult]:
+    """Regenerate the campaign's figure set from stored runs — no
+    simulation.
+
+    One figure per (numeric axis, headline metric) pair: the axis values
+    become the x axis, every combination of the *other* axes becomes a
+    series, and each y is the metric's mean over seeds — the campaign
+    analogue of the paper's ``fig3a``-style grids, rebuilt purely from
+    summary artifacts (series sidecars are never opened).  Axes with
+    non-numeric values (component names and the like) only ever label
+    series, since a figure needs an ordered x.  Deterministic: plan
+    order fixes series order, so regenerating from a resumed store is
+    byte-identical to an uninterrupted one.
+    """
+    runs = load_runs(spec, root, with_series=False)
+    figures: list[FigureResult] = []
+    if not runs:
+        return figures
+    aggregated = aggregate_by_point(runs, confidence=0.95)
+    numeric_axes = [
+        axis
+        for axis in spec.axes
+        if all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in axis.values
+        )
+    ]
+    for axis in numeric_axes:
+        slug = axis.field.replace(".", "-").replace("_args", "")
+        for metric_name in metrics:
+            rows = []
+            for point, agg in aggregated:
+                if axis.field not in point:
+                    continue
+                label = ", ".join(
+                    f"{f}={v}" for f, v in point.items() if f != axis.field
+                ) or "all runs"
+                rows.append(
+                    (label, float(point[axis.field]), agg[metric_name].mean)
+                )
+            figures.append(
+                figure_from_table(
+                    figure_id=f"{slug}--{metric_name}",
+                    title=(
+                        f"{spec.name}: {metric_name} vs {axis.field} "
+                        "(mean over seeds)"
+                    ),
+                    x_label=axis.field,
+                    y_label=metric_name,
+                    rows=rows,
+                )
+            )
+    return figures

@@ -1,10 +1,18 @@
 """The persistent, content-addressed campaign run store.
 
-Layout on disk (everything human-readable JSON)::
+Layout on disk (schema 2 — everything human-readable JSON)::
 
     <root>/<campaign-name>/
-        manifest.json          # spec snapshot + schema version
-        runs/<run_id>.json     # one artifact per completed run
+        manifest.json                        # spec snapshot + schema version
+        runs/<hh>/<run_id>.json              # summary artifact (no series)
+        runs/<hh>/<run_id>.series.json       # bandwidth-series sidecar
+
+``<hh>`` is the first two hex digits of ``run_id``, so no directory ever
+holds more than ~1/256 of the grid — a 100k-run campaign stays at a few
+hundred entries per directory.  The bandwidth series lives in a sidecar
+file, so summary-only readers (``campaign status``, ``campaign report``,
+``read_run(load_series=False)``) parse only the small summary documents:
+report cost scales with artifact *count*, never with series *length*.
 
 ``run_id`` is :meth:`ExperimentConfig.config_hash` — a truncated
 SHA-256 over the config's canonical JSON — so the same configuration
@@ -19,9 +27,20 @@ campaign produced it.  That single property buys everything else:
   artifacts instead of recomputing (one store = one artifact per
   distinct config, ever).
 
-Artifacts are written atomically (temp file + ``os.replace``), so a
-campaign killed mid-write never leaves a torn artifact behind — at
-worst the run is missing and re-executes on resume.  Every field that
+**Schema-1 stores** (flat ``runs/<run_id>.json`` with the series inline)
+remain readable transparently: the reader falls back to the flat path
+and the inline ``"series"`` key, and :meth:`CampaignStore.migrate`
+(CLI: ``python -m repro campaign migrate <dir>``) rewrites them in place
+atomically, with byte-identical reports before and after.  Readers
+accept any schema in :data:`READ_SCHEMAS` and reject everything else;
+the major bumps only when existing readers could misinterpret the bytes
+(a new sidecar or shard location is a *minor*, read-compatible change —
+moving or renaming summary fields is not).
+
+Artifacts are written atomically (unique temp file + fsync +
+``os.replace``), so a campaign killed mid-write never leaves a torn
+artifact behind — at worst the run is missing (or an orphan sidecar is
+left for ``campaign gc``) and re-executes on resume.  Every field that
 feeds reports is deterministic for a given config; wall-clock timing is
 quarantined under the ``"timing"`` key, which readers ignore, keeping
 resumed results bit-identical to uninterrupted ones.
@@ -31,7 +50,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -41,9 +62,15 @@ from repro.experiments.runner import ExperimentResult
 from repro.metrics.rates import MetricsSummary
 from repro.metrics.timeseries import BandwidthSeries
 
-#: Bump when the artifact layout changes incompatibly; readers reject
-#: artifacts from a different major schema.
-STORE_SCHEMA = 1
+#: The layout this code writes: hash-prefix shards + series sidecars.
+STORE_SCHEMA = 2
+
+#: Schemas this code reads.  1 is the flat, inline-series layout every
+#: pre-sidecar store used; readers reject anything outside this set.
+READ_SCHEMAS = frozenset({1, STORE_SCHEMA})
+
+#: Suffix of the series sidecar next to each summary artifact.
+SERIES_SUFFIX = ".series.json"
 
 
 class StoreError(RuntimeError):
@@ -86,6 +113,40 @@ class StoredRun:
         )
 
 
+@dataclass
+class MigrationReport:
+    """What :meth:`CampaignStore.migrate` did."""
+
+    store_dir: Path
+    migrated: int = 0      # artifacts rewritten into the schema-2 layout
+    already_current: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.migrated + self.already_current
+
+
+@dataclass
+class GCReport:
+    """What :meth:`CampaignStore.gc` deleted (or would delete)."""
+
+    store_dir: Path
+    applied: bool = False
+    #: Summary artifacts the current plan no longer references, plus
+    #: their sidecars.
+    unplanned: list[Path] = field(default_factory=list)
+    #: Sidecars whose summary artifact is gone (lost to a crash between
+    #: the sidecar write and the summary write, or to manual deletion).
+    orphan_sidecars: list[Path] = field(default_factory=list)
+    #: Leftover atomic-write temp files (a writer died mid-write).
+    tmp_files: list[Path] = field(default_factory=list)
+
+    @property
+    def paths(self) -> list[Path]:
+        """Every doomed path, deterministically ordered."""
+        return sorted(self.unplanned + self.orphan_sidecars + self.tmp_files)
+
+
 class CampaignStore:
     """Artifact store for one campaign directory."""
 
@@ -116,7 +177,16 @@ class CampaignStore:
     def write_manifest(
         self, spec_dict: dict, series_bin_width: float | None = None
     ) -> Path:
-        """Snapshot the spec next to its artifacts (atomic)."""
+        """Snapshot the spec next to its artifacts (atomic).
+
+        Passing ``series_bin_width=None`` means "no new claim", not
+        "clear the pin": a width already recorded by
+        :meth:`pin_series_bin_width` survives every re-snapshot, so a
+        spec revision can never silently un-pin the store and let a
+        later writer file mixed-resolution series.
+        """
+        if series_bin_width is None:
+            series_bin_width = self.series_bin_width()
         payload = {"schema": STORE_SCHEMA, "spec": spec_dict}
         if series_bin_width is not None:
             payload["series_bin_width"] = series_bin_width
@@ -163,17 +233,42 @@ class CampaignStore:
     # --------------------------------------------------------------- runs
 
     def run_path(self, run_id: str) -> Path:
-        return self.runs_dir / f"{run_id}.json"
+        """Where the run's summary artifact lives.
+
+        Prefers an existing file — the sharded schema-2 location first,
+        then the flat schema-1 one — and falls back to the canonical
+        sharded path for new writes, so readers see schema-1 stores
+        transparently and writers never fork a second copy of a run.
+        """
+        sharded = self.runs_dir / run_id[:2] / f"{run_id}.json"
+        if sharded.is_file():
+            return sharded
+        flat = self.runs_dir / f"{run_id}.json"
+        if flat.is_file():
+            return flat
+        return sharded
+
+    @staticmethod
+    def series_path(run_path: Path) -> Path:
+        """The sidecar next to a summary artifact (schema 2)."""
+        return run_path.with_name(run_path.stem + SERIES_SUFFIX)
 
     def has(self, run_id: str) -> bool:
         """True when the run's artifact exists (the resume predicate)."""
         return self.run_path(run_id).is_file()
 
-    def run_ids(self) -> set[str]:
-        """Hashes of every artifact on disk."""
+    def _artifact_paths(self) -> Iterator[Path]:
+        """Every summary artifact on disk — flat and sharded, no sidecars."""
         if not self.runs_dir.is_dir():
-            return set()
-        return {path.stem for path in self.runs_dir.glob("*.json")}
+            return
+        for pattern in ("*.json", "*/*.json"):
+            for path in self.runs_dir.glob(pattern):
+                if not path.name.endswith(SERIES_SUFFIX):
+                    yield path
+
+    def run_ids(self) -> set[str]:
+        """Hashes of every artifact on disk (both layouts)."""
+        return {path.stem for path in self._artifact_paths()}
 
     def write_result(
         self,
@@ -182,6 +277,12 @@ class CampaignStore:
         series_bin_width: float | None = None,
     ) -> Path:
         """File one run's artifact under its config hash (atomic).
+
+        The bandwidth series goes to the ``.series.json`` sidecar and
+        the summary document to ``runs/<hh>/<run_id>.json`` — sidecar
+        first, so a visible summary implies its series committed (a
+        crash in between leaves only an orphan sidecar, which
+        :meth:`gc` prunes and resume overwrites harmlessly).
 
         ``point`` is advisory provenance (which grid cell produced the
         artifact); query paths recompute cell membership from the
@@ -192,6 +293,7 @@ class CampaignStore:
         """
         run_id = result.config.config_hash()
         series = result.series
+        path = self.run_path(run_id)  # existing location, else sharded
         payload = {
             "schema": STORE_SCHEMA,
             "run_id": run_id,
@@ -203,27 +305,35 @@ class CampaignStore:
             "true_atrs": sorted(result.true_atrs),
             "events_executed": result.events_executed,
             "series_bin_width": series_bin_width,
-            "series": {
-                "times": series.times,
-                "total_kbps": series.total_kbps,
-                "attack_kbps": series.attack_kbps,
-                "legit_kbps": series.legit_kbps,
-            },
             # Non-deterministic measurements live here and ONLY here;
             # reports never read this key.
             "timing": {"wall_seconds": result.wall_seconds},
         }
-        return self._write_json(self.run_path(run_id), payload)
+        self._write_json(
+            self.series_path(path),
+            {
+                "schema": STORE_SCHEMA,
+                "run_id": run_id,
+                "series": {
+                    "times": series.times,
+                    "total_kbps": series.total_kbps,
+                    "attack_kbps": series.attack_kbps,
+                    "legit_kbps": series.legit_kbps,
+                },
+            },
+        )
+        return self._write_json(path, payload)
 
     def read_run(self, run_id: str, load_series: bool = True) -> StoredRun:
         """Load one artifact back into a :class:`StoredRun`.
 
-        ``load_series=False`` skips materializing the bandwidth-series
-        lists for summary-only consumers like
-        :func:`repro.campaign.query.campaign_report`.  (The JSON is
-        still parsed whole; moving the series to sidecar files so
-        summary readers never touch it is a ROADMAP candidate for
-        very large grids.)
+        ``load_series=False`` skips the series.  On schema 2 that means
+        the sidecar is never opened, so summary-only consumers like
+        :func:`repro.campaign.query.campaign_report` pay per artifact,
+        not per series sample.  On schema 1 the inline series is still
+        *parsed* (the JSON document is read whole) — only the Python
+        lists are skipped; migrate the store to get length-independent
+        summary reads.
         """
         path = self.run_path(run_id)
         try:
@@ -242,7 +352,10 @@ class CampaignStore:
                 "(edited by hand, or written by an incompatible version?)"
             )
         if load_series:
-            series_payload = payload["series"]
+            # Schema 1 carries the series inline; schema 2 sidecars it.
+            series_payload = payload.get("series")
+            if series_payload is None:
+                series_payload = self._read_series_payload(path, run_id)
             series = BandwidthSeries(
                 times=list(series_payload["times"]),
                 total_kbps=list(series_payload["total_kbps"]),
@@ -267,10 +380,37 @@ class CampaignStore:
             wall_seconds=payload["timing"]["wall_seconds"],
         )
 
-    def iter_runs(self) -> Iterator[StoredRun]:
-        """Every artifact, in run-id order (deterministic)."""
+    def _read_series_payload(self, run_path: Path, run_id: str) -> dict:
+        """The sidecar's ``"series"`` table for one summary artifact."""
+        sidecar = self.series_path(run_path)
+        try:
+            payload = json.loads(sidecar.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(
+                f"artifact {run_path} has no series sidecar {sidecar.name} "
+                "(crash between writes? resume re-runs it, or gc prunes it)"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt sidecar {sidecar}: {exc}") from exc
+        self._check_schema(payload, sidecar)
+        if payload.get("run_id") != run_id:
+            raise StoreError(
+                f"sidecar {sidecar} belongs to run {payload.get('run_id')!r}"
+                f", not {run_id!r}"
+            )
+        return payload["series"]
+
+    def iter_runs(self, load_series: bool = True) -> Iterator[StoredRun]:
+        """Every artifact, in run-id order (deterministic).
+
+        ``load_series=False`` skips the series exactly like
+        :meth:`read_run`: summary-only scans over a schema-2 store
+        never open a sidecar (schema-1 artifacts still parse their
+        inline series as part of the document — migrate for the full
+        win).
+        """
         for run_id in sorted(self.run_ids()):
-            yield self.read_run(run_id)
+            yield self.read_run(run_id, load_series=load_series)
 
     def as_cache(self, series_bin_width: float = 0.05) -> "StoreCache":
         """Adapter for :func:`repro.experiments.parallel.run_batch`'s
@@ -283,25 +423,174 @@ class CampaignStore:
         """
         return StoreCache(self, series_bin_width=series_bin_width)
 
+    # -------------------------------------------------------- maintenance
+
+    def migrate(self) -> MigrationReport:
+        """Rewrite a schema-1 store into the sharded sidecar layout.
+
+        In place and atomic per artifact: the sidecar and the sharded
+        summary are fully written (tmp + fsync + rename) before the old
+        flat file is unlinked, so a crash mid-migration leaves every
+        run readable — at worst both copies exist and the reader
+        prefers the sharded one.  Idempotent: a second invocation finds
+        nothing left to do.  Reports are byte-identical before and
+        after (the summary fields are untouched).
+        """
+        report = MigrationReport(store_dir=self.directory)
+        for old_path in sorted(self._artifact_paths()):
+            try:
+                payload = json.loads(old_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"corrupt artifact {old_path}: {exc} — delete it (or "
+                    "let resume rewrite it), then re-run migrate"
+                ) from exc
+            self._check_schema(payload, old_path)
+            run_id = payload.get("run_id")
+            if not isinstance(run_id, str) or not run_id:
+                raise StoreError(
+                    f"{old_path} carries no run_id — not a campaign "
+                    "artifact? move it out of runs/ and re-run migrate"
+                )
+            target = self.runs_dir / run_id[:2] / f"{run_id}.json"
+            inline = "series" in payload
+            if not inline and old_path == target:
+                report.already_current += 1
+                continue
+            if inline:
+                series = payload.pop("series")
+            else:  # sharded-but-misplaced: carry the sidecar along
+                series = self._read_series_payload(old_path, run_id)
+            payload["schema"] = STORE_SCHEMA
+            self._write_json(
+                self.series_path(target),
+                {"schema": STORE_SCHEMA, "run_id": run_id, "series": series},
+            )
+            self._write_json(target, payload)
+            if old_path != target:
+                old_path.unlink()
+                old_sidecar = self.series_path(old_path)
+                if old_sidecar.is_file():
+                    old_sidecar.unlink()
+            report.migrated += 1
+        if self.manifest_path.is_file():
+            # Re-stamp schema 2, preserving the spec and any pin.
+            self.write_manifest(self.read_manifest())
+        return report
+
+    def gc(
+        self,
+        planned_ids: set[str],
+        apply: bool = False,
+        min_debris_age_seconds: float = 3600.0,
+    ) -> GCReport:
+        """Prune what the current plan no longer references.
+
+        Three categories: summary artifacts (plus their sidecars) whose
+        run_id is not in ``planned_ids``; orphaned sidecars with no
+        summary artifact; and leftover ``*.tmp`` files from writers
+        that died mid-write.  The manifest is never touched.  With
+        ``apply=False`` (the default) nothing is deleted — the report
+        lists what *would* go.
+
+        Orphan sidecars and temp files younger than
+        ``min_debris_age_seconds`` are spared: a *live* writer holds an
+        in-flight mkstemp file (and briefly a summary-less sidecar)
+        that looks exactly like crash debris, and unlinking it would
+        fail that writer's rename mid-campaign.  An hour cleanly
+        separates dead writers from running ones; unplanned artifacts
+        carry no such race (plan membership is deterministic) and are
+        pruned regardless of age.
+        """
+        report = GCReport(store_dir=self.directory, applied=apply)
+        cutoff = time.time() - min_debris_age_seconds
+
+        def settled(path: Path) -> bool:
+            try:
+                return path.stat().st_mtime < cutoff
+            except OSError:  # vanished mid-scan: a writer renamed it
+                return False
+
+        for path in self._artifact_paths():
+            if path.stem not in planned_ids:
+                report.unplanned.append(path)
+                sidecar = self.series_path(path)
+                if sidecar.is_file():
+                    report.unplanned.append(sidecar)
+        if self.runs_dir.is_dir():
+            for pattern in (f"*{SERIES_SUFFIX}", f"*/*{SERIES_SUFFIX}"):
+                for sidecar in self.runs_dir.glob(pattern):
+                    stem = sidecar.name[: -len(SERIES_SUFFIX)]
+                    if not sidecar.with_name(f"{stem}.json").is_file() \
+                            and settled(sidecar):
+                        report.orphan_sidecars.append(sidecar)
+            for pattern in ("*.tmp", "*/*.tmp"):
+                report.tmp_files.extend(
+                    p for p in self.runs_dir.glob(pattern) if settled(p)
+                )
+        report.tmp_files.extend(
+            p for p in self.directory.glob("*.tmp") if settled(p)
+        )
+        if apply:
+            for path in report.paths:
+                path.unlink(missing_ok=True)
+            for shard in self.runs_dir.glob("*/"):
+                try:  # drop shard dirs emptied by the pruning
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return report
+
     # ------------------------------------------------------------ helpers
 
     def _write_json(self, path: Path, payload: dict) -> Path:
-        """Atomic JSON write: temp file in the same directory + replace."""
+        """Atomic JSON write: unique temp file in the same directory,
+        fsync, then rename.
+
+        The temp name comes from :func:`tempfile.mkstemp`, so two
+        processes filing the same ``run_id`` concurrently (two resumed
+        campaigns, ``jobs=N`` workers sharing a :class:`StoreCache`)
+        each write their own file and the last rename wins whole — a
+        fixed ``<path>.tmp`` name would interleave their writes into
+        one file and rename a torn artifact into place.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        with tmp.open("w", encoding="utf-8") as f:
-            json.dump(payload, f, indent=2, sort_keys=True, allow_nan=False)
-            f.write("\n")
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(
+                    payload, f, indent=2, sort_keys=True, allow_nan=False
+                )
+                f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @staticmethod
     def _check_schema(payload: dict, path: Path) -> None:
         schema = payload.get("schema")
-        if schema != STORE_SCHEMA:
+        if schema not in READ_SCHEMAS:
             raise StoreError(
-                f"{path}: store schema {schema!r} != supported {STORE_SCHEMA}"
+                f"{path}: store schema {schema!r} not in supported "
+                f"{sorted(READ_SCHEMAS)}"
             )
+
+
+def migrate_store(directory: str | Path) -> MigrationReport:
+    """Module-level convenience for ``campaign migrate <dir>``."""
+    store = CampaignStore(directory)
+    if not store.exists():
+        raise StoreError(f"no campaign store at {store.directory}")
+    return store.migrate()
 
 
 class StoreCache:

@@ -26,7 +26,7 @@ fig7      legit drop rate Lr vs Vt, series Pd
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
@@ -64,6 +64,29 @@ class FigureResult:
     def ys(self, series_name: str) -> list[float]:
         """The y values of one series."""
         return [y for _, y in self.series[series_name]]
+
+
+def figure_from_table(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    rows: Iterable[tuple[str, float, float]],
+) -> FigureResult:
+    """Assemble a :class:`FigureResult` from ``(series, x, y)`` rows.
+
+    The store-backed regeneration path: ``campaign figures`` rebuilds
+    each figure from summary artifacts through this instead of
+    re-simulating, and anything that can tabulate (series, x, y) can
+    reuse the figure reporting/export machinery the same way.  Rows
+    carry no runs, so the result's ``runs`` dict stays empty.
+    """
+    figure = FigureResult(
+        figure_id=figure_id, title=title, x_label=x_label, y_label=y_label
+    )
+    for series_name, x, y in rows:
+        figure.add_point(series_name, x, y)
+    return figure
 
 
 def _scaled(values: list, scale: float) -> list:

@@ -1,0 +1,109 @@
+"""Fabricate schema-1 (flat, inline-series) store layouts.
+
+The current :class:`~repro.campaign.store.CampaignStore` only *writes*
+schema 2 (hash-prefix shards + series sidecars), so migration and
+back-compat tests — and CI's ``campaign-smoke`` job — need a way to
+produce the legacy layout with current code.  :func:`write_schema1_result`
+replicates what the pre-sidecar ``write_result`` put on disk, byte for
+byte; :func:`downgrade_store` rewrites a whole schema-2 store back to
+schema 1 in place (the inverse of ``campaign migrate``).
+
+This module deliberately avoids pytest imports so CI can call it from a
+plain ``python -c`` one-liner.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.export import summary_to_dict
+from repro.campaign.store import CampaignStore
+from repro.experiments.runner import ExperimentResult
+
+
+def _dump(path: Path, payload: dict) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def write_schema1_result(
+    store: CampaignStore,
+    result: ExperimentResult,
+    point: dict | None = None,
+    series_bin_width: float | None = None,
+) -> Path:
+    """File one artifact exactly as the schema-1 store did: a flat
+    ``runs/<run_id>.json`` with the series inline."""
+    run_id = result.config.config_hash()
+    series = result.series
+    payload = {
+        "schema": 1,
+        "run_id": run_id,
+        "config": result.config.to_dict(),
+        "point": dict(point or {}),
+        "summary": summary_to_dict(result.summary),
+        "activation_time": result.activation_time,
+        "identified_atrs": sorted(result.identified_atrs),
+        "true_atrs": sorted(result.true_atrs),
+        "events_executed": result.events_executed,
+        "series_bin_width": series_bin_width,
+        "series": {
+            "times": series.times,
+            "total_kbps": series.total_kbps,
+            "attack_kbps": series.attack_kbps,
+            "legit_kbps": series.legit_kbps,
+        },
+        "timing": {"wall_seconds": result.wall_seconds},
+    }
+    return _dump(store.runs_dir / f"{run_id}.json", payload)
+
+
+def write_schema1_manifest(
+    store: CampaignStore,
+    spec_dict: dict,
+    series_bin_width: float | None = None,
+) -> Path:
+    """A legacy manifest (``"schema": 1``) next to the artifacts."""
+    payload: dict = {"schema": 1, "spec": spec_dict}
+    if series_bin_width is not None:
+        payload["series_bin_width"] = series_bin_width
+    return _dump(store.manifest_path, payload)
+
+
+def downgrade_store(directory: str | Path) -> int:
+    """Rewrite a schema-2 store as schema 1 in place; returns the number
+    of artifacts rewritten.  The inverse of ``campaign migrate`` — used
+    to build migration fixtures out of freshly produced stores."""
+    store = CampaignStore(directory)
+    rewritten = 0
+    for run_id in sorted(store.run_ids()):
+        path = store.run_path(run_id)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        sidecar = store.series_path(path)
+        if "series" not in payload:
+            payload["series"] = json.loads(
+                sidecar.read_text(encoding="utf-8")
+            )["series"]
+        payload["schema"] = 1
+        flat = store.runs_dir / f"{run_id}.json"
+        _dump(flat, payload)
+        if path != flat:
+            path.unlink()
+        if sidecar.is_file():
+            sidecar.unlink()
+        rewritten += 1
+    for shard in store.runs_dir.glob("*/"):
+        try:
+            shard.rmdir()
+        except OSError:
+            pass
+    if store.manifest_path.is_file():
+        manifest = json.loads(store.manifest_path.read_text(encoding="utf-8"))
+        manifest["schema"] = 1
+        _dump(store.manifest_path, manifest)
+    return rewritten

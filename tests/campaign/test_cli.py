@@ -1,6 +1,7 @@
 """Tests for ``python -m repro campaign ...`` through the real CLI main."""
 
 import json
+import os
 
 import pytest
 
@@ -88,7 +89,11 @@ def test_corrupt_artifact_reports_cleanly(tmp_path, spec_path, capsys):
     assert main(["campaign", "run", str(spec_path), "--root", root,
                  "--jobs", "1"]) == 0
     capsys.readouterr()
-    artifact = next((tmp_path / "s" / "cli-tiny" / "runs").glob("*.json"))
+    runs_dir = tmp_path / "s" / "cli-tiny" / "runs"
+    artifact = next(
+        p for p in runs_dir.glob("*/*.json")
+        if not p.name.endswith(".series.json")
+    )
     artifact.write_text("{torn")
     code = main(["campaign", "report", str(spec_path), "--root", root])
     assert code == 2
@@ -139,3 +144,91 @@ def test_bad_wave_exits_2(tmp_path, spec_path, capsys):
                  "--root", str(tmp_path / "s"), "--wave", "0"])
     assert code == 2
     assert "wave_size" in capsys.readouterr().err
+
+
+def test_figures_verb_writes_figure_files(tmp_path, spec_path, capsys):
+    root = str(tmp_path / "s")
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "figures", str(spec_path), "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 5 figures" in out
+    fig_dir = tmp_path / "s" / "cli-tiny" / "figures"
+    for suffix in (".txt", ".csv", ".json"):
+        assert (fig_dir / f"attack_fraction--accuracy{suffix}").is_file()
+    payload = json.loads(
+        (fig_dir / "attack_fraction--accuracy.json").read_text()
+    )
+    assert payload["x_label"] == "attack_fraction"
+    # --out redirects.
+    alt = tmp_path / "alt-figs"
+    assert main(["campaign", "figures", str(spec_path), "--root", root,
+                 "--out", str(alt)]) == 0
+    assert (alt / "attack_fraction--accuracy.csv").is_file()
+
+
+def test_figures_verb_without_runs_exits_1(tmp_path, spec_path, capsys):
+    code = main(["campaign", "figures", str(spec_path),
+                 "--root", str(tmp_path / "no")])
+    assert code == 1
+    assert "no figures" in capsys.readouterr().err
+
+
+def test_gc_verb_dry_run_then_apply(tmp_path, spec_path, capsys):
+    root = str(tmp_path / "s")
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    junk = tmp_path / "s" / "cli-tiny" / "runs" / "junk.json.x1.tmp"
+    junk.write_text("half-written")
+    os.utime(junk, (0, 0))  # age it past gc's live-writer guard
+    capsys.readouterr()
+
+    assert main(["campaign", "gc", str(spec_path), "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "dry run" in out and "would delete" in out
+    assert junk.exists()  # dry run is the default
+
+    assert main(["campaign", "gc", str(spec_path), "--root", root,
+                 "--apply"]) == 0
+    out = capsys.readouterr().out
+    assert "deleted 1 files" in out
+    assert not junk.exists()
+    # The planned artifact survived and the campaign still reports.
+    assert main(["campaign", "status", str(spec_path), "--root", root]) == 0
+
+
+def test_gc_verb_without_store_exits_2(tmp_path, spec_path, capsys):
+    code = main(["campaign", "gc", str(spec_path),
+                 "--root", str(tmp_path / "no")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_migrate_verb_round_trips_reports(tmp_path, spec_path, capsys):
+    from repro.campaign.query import campaign_report
+    from repro.campaign.spec import CampaignSpec
+
+    from tests.campaign.schema1 import downgrade_store
+
+    root = str(tmp_path / "s")
+    assert main(["campaign", "run", str(spec_path), "--root", root,
+                 "--jobs", "1"]) == 0
+    spec = CampaignSpec.load(spec_path)
+    before = json.dumps(campaign_report(spec, root), sort_keys=True)
+    store_dir = tmp_path / "s" / "cli-tiny"
+    assert downgrade_store(store_dir) == 1
+    assert json.dumps(campaign_report(spec, root), sort_keys=True) == before
+    capsys.readouterr()
+
+    assert main(["campaign", "migrate", str(store_dir)]) == 0
+    assert "migrated 1 artifacts" in capsys.readouterr().out
+    assert json.dumps(campaign_report(spec, root), sort_keys=True) == before
+    # Sharded now: no flat artifacts left under runs/.
+    assert not list((store_dir / "runs").glob("*.json"))
+
+
+def test_migrate_verb_missing_store_exits_2(tmp_path, capsys):
+    code = main(["campaign", "migrate", str(tmp_path / "nope")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""Migration and gc round-trips over the campaign store.
+
+The acceptance property: a schema-1 store reads transparently through
+the v2 reader, ``migrate`` rewrites it in place with byte-identical
+reports at every step, and ``gc`` removes exactly the unplanned
+artifacts and debris — after which a resume re-executes only what gc
+removed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.orchestrator import (
+    campaign_gc,
+    campaign_status,
+    open_store,
+    run_campaign,
+)
+from repro.campaign.query import campaign_report
+from repro.campaign.store import CampaignStore, StoreError, migrate_store
+
+from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.schema1 import (
+    downgrade_store,
+    write_schema1_manifest,
+    write_schema1_result,
+)
+
+WIDE_AXES = [{"field": "attack_fraction", "values": (0.25, 0.5, 0.75)}]
+
+
+def build_schema1_store(spec, root) -> CampaignStore:
+    """A fully fabricated legacy store: flat artifacts, inline series,
+    schema-1 manifest."""
+    store = open_store(spec, root).ensure()
+    for planned in spec.plan():
+        write_schema1_result(
+            store, fabricate_result(planned.config), point=planned.point,
+            series_bin_width=0.05,
+        )
+    write_schema1_manifest(store, spec.to_dict(), series_bin_width=0.05)
+    return store
+
+
+def report_bytes(spec, root) -> str:
+    return json.dumps(campaign_report(spec, root), sort_keys=True)
+
+
+class TestMigration:
+    def test_schema1_reads_without_migration(self, tmp_path):
+        spec = tiny_spec(name="legacy")
+        build_schema1_store(spec, tmp_path)
+        report = campaign_report(spec, tmp_path)
+        assert report["complete"] == report["planned"] == 4
+        assert campaign_status(spec, tmp_path).is_complete
+
+    def test_migrate_is_in_place_atomic_and_report_preserving(
+        self, tmp_path
+    ):
+        spec = tiny_spec(name="legacy")
+        store = build_schema1_store(spec, tmp_path)
+        before = report_bytes(spec, tmp_path)
+        ids_before = store.run_ids()
+
+        result = store.migrate()
+        assert result.migrated == 4
+        assert result.already_current == 0
+
+        # Byte-identical report, identical id set, fully sharded layout.
+        assert report_bytes(spec, tmp_path) == before
+        assert store.run_ids() == ids_before
+        assert not list(store.runs_dir.glob("*.json"))  # no flat files left
+        for run_id in ids_before:
+            path = store.run_path(run_id)
+            assert path.parent.name == run_id[:2]
+            assert store.series_path(path).is_file()
+            assert "series" not in json.loads(path.read_text())
+        # Series content survived the move to the sidecars.
+        run = store.read_run(sorted(ids_before)[0])
+        assert run.series.times == [0.5, 1.5]
+        # Manifest re-stamped schema 2, spec and pin preserved.
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["schema"] == 2
+        assert manifest["spec"] == spec.to_dict()
+        assert store.series_bin_width() == 0.05
+        assert not list(store.directory.glob("**/*.tmp"))
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        spec = tiny_spec(name="legacy")
+        store = build_schema1_store(spec, tmp_path)
+        store.migrate()
+        again = store.migrate()
+        assert again.migrated == 0
+        assert again.already_current == 4
+
+    def test_migrated_store_resumes_with_zero_executions(self, tmp_path):
+        spec = tiny_spec(name="legacy")
+        build_schema1_store(spec, tmp_path)
+        migrate_store(open_store(spec, tmp_path).directory)
+        resumed = run_campaign(spec, root=tmp_path, jobs=1)
+        assert resumed.executed == 0
+        assert resumed.cached == 4
+
+    def test_migrate_missing_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no campaign store"):
+            migrate_store(tmp_path / "nothing-here")
+
+    def test_migrate_wraps_corrupt_artifacts_in_store_error(self, tmp_path):
+        """A torn artifact (what the old fixed-tmp-name race could
+        leave) must fail migration with the StoreError contract, not a
+        raw json traceback."""
+        spec = tiny_spec(name="torn")
+        store = build_schema1_store(spec, tmp_path)
+        (store.runs_dir / "0000000000000000.json").write_text("{torn")
+        with pytest.raises(StoreError, match="corrupt artifact"):
+            store.migrate()
+        (store.runs_dir / "0000000000000000.json").write_text('{"schema": 1}')
+        with pytest.raises(StoreError, match="no run_id"):
+            store.migrate()
+
+    def test_downgrade_then_migrate_round_trips_a_real_store(self, tmp_path):
+        """Full cycle on a store the current writer produced: schema-2
+        -> downgrade (fixture builder) -> v2 read -> migrate -> reports
+        byte-identical at every step."""
+        spec = tiny_spec(name="cycle")
+        store = open_store(spec, tmp_path).ensure()
+        for planned in spec.plan():
+            store.write_result(
+                fabricate_result(planned.config), point=planned.point,
+                series_bin_width=0.05,
+            )
+        store.write_manifest(spec.to_dict(), series_bin_width=0.05)
+        original = report_bytes(spec, tmp_path)
+        series_before = [
+            run.series.total_kbps for run in store.iter_runs()
+        ]
+
+        assert downgrade_store(store.directory) == 4
+        assert len(list(store.runs_dir.glob("*.json"))) == 4  # flat again
+        assert report_bytes(spec, tmp_path) == original  # v2 reader, v1 store
+
+        assert store.migrate().migrated == 4
+        assert report_bytes(spec, tmp_path) == original
+        assert [
+            run.series.total_kbps for run in store.iter_runs()
+        ] == series_before
+
+
+class TestGC:
+    def plant_debris(self, store: CampaignStore, stale: bool = True) -> tuple:
+        """An orphan sidecar and a leftover atomic-write temp file,
+        backdated past gc's live-writer age guard unless ``stale=False``."""
+        orphan = store.runs_dir / "fe" / "feedfacefeedface.series.json"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text('{"schema": 2}\n')
+        tmp = store.runs_dir / "junk.json.abc123.tmp"
+        tmp.write_text("half-written")
+        if stale:
+            for path in (orphan, tmp):
+                os.utime(path, (0, 0))
+        return orphan, tmp
+
+    def populate(self, spec, root) -> CampaignStore:
+        store = open_store(spec, root).ensure()
+        for planned in spec.plan():
+            store.write_result(
+                fabricate_result(planned.config), point=planned.point
+            )
+        return store
+
+    def test_dry_run_is_default_and_deletes_nothing(self, tmp_path):
+        wide = tiny_spec(name="g", axes=WIDE_AXES)
+        store = self.populate(wide, tmp_path)
+        orphan, tmp = self.plant_debris(store)
+        narrow = tiny_spec(name="g")  # drops the 0.75 axis point
+
+        report = campaign_gc(narrow, tmp_path)
+        assert not report.applied
+        # 2 unplanned runs (0.75 x seeds 1,2), each with its sidecar.
+        assert len(report.unplanned) == 4
+        assert report.orphan_sidecars == [orphan]
+        assert tmp in report.tmp_files
+        for path in report.paths:
+            assert path.exists()  # dry run touched nothing
+        assert store.run_ids() == {r.run_id for r in wide.plan()}
+
+    def test_apply_removes_exactly_the_debris(self, tmp_path):
+        wide = tiny_spec(name="g", axes=WIDE_AXES)
+        store = self.populate(wide, tmp_path)
+        orphan, tmp = self.plant_debris(store)
+        narrow = tiny_spec(name="g")
+        narrow_before = report_bytes(narrow, tmp_path)
+
+        report = campaign_gc(narrow, tmp_path, apply=True)
+        assert report.applied
+        for path in report.paths:
+            assert not path.exists()
+        assert not orphan.exists() and not tmp.exists()
+        # Exactly the planned artifacts survive, reports unchanged.
+        assert store.run_ids() == {r.run_id for r in narrow.plan()}
+        assert report_bytes(narrow, tmp_path) == narrow_before
+        # A clean store gc's to nothing.
+        assert campaign_gc(narrow, tmp_path, apply=True).paths == []
+
+    def test_resume_reruns_only_what_gc_removed(self, tmp_path):
+        """gc with a narrowed spec prunes the dropped cells; resuming
+        the wide spec re-executes exactly those cells and nothing
+        else."""
+        wide = tiny_spec(name="g", axes=WIDE_AXES)
+        run_campaign(wide, root=tmp_path, jobs=1)  # real artifacts
+        removed = campaign_gc(tiny_spec(name="g"), tmp_path, apply=True)
+        removed_ids = {
+            path.stem for path in removed.unplanned
+            if not path.name.endswith(".series.json")
+        }
+        assert len(removed_ids) == 2
+
+        status = campaign_status(wide, tmp_path)
+        assert {run.run_id for run in status.missing} == removed_ids
+        resumed = run_campaign(wide, root=tmp_path, jobs=1)
+        assert resumed.executed == 2
+        assert resumed.cached == 4
+        assert resumed.complete
+
+    def test_fresh_debris_is_spared(self, tmp_path):
+        """A live writer's in-flight mkstemp file (and the sidecar it
+        just wrote, summary pending) look exactly like crash debris —
+        gc must not unlink them out from under the rename."""
+        spec = tiny_spec(name="g")
+        store = self.populate(spec, tmp_path)
+        orphan, tmp = self.plant_debris(store, stale=False)
+
+        report = campaign_gc(spec, tmp_path, apply=True)
+        assert report.paths == []
+        assert orphan.exists() and tmp.exists()
+        # Explicitly aging the guard down reclaims them.
+        aged = campaign_gc(
+            spec, tmp_path, apply=True, min_debris_age_seconds=-1.0
+        )
+        assert len(aged.paths) == 2
+        assert not orphan.exists() and not tmp.exists()
+
+    def test_gc_without_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no campaign store"):
+            campaign_gc(tiny_spec(name="void"), tmp_path)

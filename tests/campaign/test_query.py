@@ -1,5 +1,8 @@
 """Tests for repro.campaign.query over fabricated (simulation-free) stores."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.campaign.orchestrator import open_store
@@ -185,3 +188,101 @@ class TestRunsWhere:
         assert len(runs_where(store, seed=1)) == 2
         assert len(runs_where(store, seed=1, attack_fraction=0.5)) == 1
         assert runs_where(store, seed=99) == []
+
+    def test_summary_only_scan_skips_series(self, populated, monkeypatch):
+        """runs_where(load_series=False) must never materialize a
+        bandwidth series — on a schema-2 store it never even opens a
+        sidecar."""
+        from repro.campaign.store import CampaignStore
+
+        spec, root = populated
+        store = open_store(spec, root)
+
+        def boom(self, run_path, run_id):
+            raise AssertionError(f"sidecar opened for {run_id}")
+
+        monkeypatch.setattr(CampaignStore, "_read_series_payload", boom)
+        runs = runs_where(store, load_series=False, seed=2)
+        assert len(runs) == 2
+        assert all(run.series.times == [] for run in runs)
+        # Schema-1 stores honor the flag too (inline series skipped).
+        from tests.campaign.schema1 import write_schema1_result
+
+        legacy = CampaignStore(Path(root) / "legacy-q").ensure()
+        config = spec.plan()[0].config
+        write_schema1_result(legacy, fabricate_result(config))
+        lite = runs_where(legacy, load_series=False, seed=config.seed)
+        assert len(lite) == 1
+        assert lite[0].series.times == []
+
+
+class TestCampaignFigures:
+    def test_figures_from_store_without_simulation(
+        self, populated, monkeypatch
+    ):
+        from repro.campaign.query import REPORT_METRICS, campaign_figures
+        from repro.campaign.store import CampaignStore
+
+        spec, root = populated
+
+        def boom(self, run_path, run_id):
+            raise AssertionError("figures must not read series sidecars")
+
+        monkeypatch.setattr(CampaignStore, "_read_series_payload", boom)
+        figures = campaign_figures(spec, root)
+        # One numeric axis x the five headline metrics.
+        assert [f.figure_id for f in figures] == [
+            f"attack_fraction--{m}" for m in REPORT_METRICS
+        ]
+        accuracy = figures[0]
+        assert accuracy.x_label == "attack_fraction"
+        assert list(accuracy.series) == ["all runs"]
+        # Seeds 1, 2 -> fabricated accuracy 0.91, 0.92: mean 0.915.
+        assert accuracy.series["all runs"] == [
+            (0.25, pytest.approx(0.915)), (0.5, pytest.approx(0.915)),
+        ]
+
+    def test_categorical_axes_become_series_not_x(self, tmp_path):
+        from repro.campaign.query import campaign_figures
+
+        spec = tiny_spec(
+            name="mixed",
+            axes=[
+                {"field": "attack_fraction", "values": (0.25, 0.5)},
+                {"field": "defense", "values": ("mafic", "proportional")},
+            ],
+        )
+        store = open_store(spec, tmp_path).ensure()
+        for planned in spec.plan():
+            store.write_result(fabricate_result(planned.config), planned.point)
+        figures = campaign_figures(spec, tmp_path)
+        # Only the numeric axis makes figures; defense labels series.
+        assert len(figures) == 5
+        assert set(figures[0].series) == {
+            "defense=mafic", "defense=proportional",
+        }
+        for points in figures[0].series.values():
+            assert [x for x, _ in points] == [0.25, 0.5]
+
+    def test_empty_store_yields_no_figures(self, tmp_path):
+        from repro.campaign.query import campaign_figures
+
+        spec = tiny_spec(name="empty")
+        open_store(spec, tmp_path).ensure()
+        assert campaign_figures(spec, tmp_path) == []
+
+    def test_figures_deterministic_across_stores(self, populated, tmp_path):
+        """Same artifacts -> identical figure payloads, independent of
+        which root they live under (the regeneration analogue of report
+        determinism)."""
+        from repro.analysis.export import figure_to_dict
+        from repro.campaign.query import campaign_figures
+
+        spec, root = populated
+        other_root = tmp_path / "other"
+        store = open_store(spec, other_root).ensure()
+        for planned in spec.plan():
+            store.write_result(fabricate_result(planned.config), planned.point)
+        a = [figure_to_dict(f) for f in campaign_figures(spec, root)]
+        b = [figure_to_dict(f) for f in campaign_figures(spec, other_root)]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

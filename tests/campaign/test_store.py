@@ -1,6 +1,8 @@
-"""Tests for repro.campaign.store: artifacts, atomicity, cache adapter."""
+"""Tests for repro.campaign.store: artifacts, atomicity, cache adapter,
+the schema-2 sharded sidecar layout, and schema-1 back-compat."""
 
 import json
+import threading
 
 import pytest
 
@@ -8,6 +10,7 @@ from repro.campaign.store import CampaignStore, StoreError
 from repro.experiments.config import ExperimentConfig
 
 from tests.campaign.conftest import fabricate_result
+from tests.campaign.schema1 import write_schema1_result
 
 
 @pytest.fixture
@@ -127,6 +130,154 @@ class TestManifest:
         spec_dict = {"name": "x", "seeds": [1], "axes": []}
         store.write_manifest(spec_dict)
         assert store.read_manifest() == spec_dict
+
+    def test_pin_survives_manifest_resnapshot(self, store):
+        """Regression: write_manifest(spec) with the default width used
+        to drop a previously pinned series_bin_width, un-pinning the
+        store and letting a later writer file mixed-resolution series."""
+        store.pin_series_bin_width(0.05)
+        store.write_manifest({"name": "x", "seeds": [1, 2], "axes": []})
+        assert store.series_bin_width() == 0.05
+        # The pin still arbitrates writers after the re-snapshot.
+        with pytest.raises(StoreError, match="bin width"):
+            store.pin_series_bin_width(0.2)
+        # An explicit matching width round-trips as before.
+        store.write_manifest({"name": "x"}, series_bin_width=0.05)
+        assert store.series_bin_width() == 0.05
+
+
+class TestSchema2Layout:
+    def test_artifacts_shard_by_hash_prefix_with_sidecars(self, store):
+        config = config_for()
+        run_id = config.config_hash()
+        path = store.write_result(fabricate_result(config))
+        assert path == store.runs_dir / run_id[:2] / f"{run_id}.json"
+        payload = json.loads(path.read_text())
+        assert "series" not in payload  # summary doc stays small
+        sidecar = store.series_path(path)
+        side_payload = json.loads(sidecar.read_text())
+        assert side_payload["run_id"] == run_id
+        assert side_payload["series"]["times"] == [0.5, 1.5]
+        assert store.run_ids() == {run_id}  # sidecar doesn't count
+
+    def test_summary_only_reads_never_open_the_sidecar(
+        self, store, monkeypatch
+    ):
+        for seed in (1, 2):
+            store.write_result(fabricate_result(config_for(seed)))
+
+        def boom(self, run_path, run_id):
+            raise AssertionError(f"sidecar opened for {run_id}")
+
+        monkeypatch.setattr(CampaignStore, "_read_series_payload", boom)
+        run = store.read_run(config_for().config_hash(), load_series=False)
+        assert run.series.times == []
+        assert len(list(store.iter_runs(load_series=False))) == 2
+
+    def test_missing_sidecar_fails_series_reads_only(self, store):
+        config = config_for()
+        store.write_result(fabricate_result(config))
+        store.series_path(store.run_path(config.config_hash())).unlink()
+        with pytest.raises(StoreError, match="sidecar"):
+            store.read_run(config.config_hash())
+        run = store.read_run(config.config_hash(), load_series=False)
+        assert run.summary == fabricate_result(config).summary
+
+    def test_mismatched_sidecar_rejected(self, store):
+        a, b = config_for(1), config_for(2)
+        store.write_result(fabricate_result(a))
+        store.write_result(fabricate_result(b))
+        path_a = store.run_path(a.config_hash())
+        store.series_path(path_a).write_text(
+            store.series_path(store.run_path(b.config_hash())).read_text()
+        )
+        with pytest.raises(StoreError, match="belongs to"):
+            store.read_run(a.config_hash())
+
+
+class TestSchema1BackCompat:
+    def test_flat_inline_artifact_reads_transparently(self, store):
+        config = config_for()
+        result = fabricate_result(config)
+        path = write_schema1_result(
+            store, result, point={"attack_fraction": 0.4},
+            series_bin_width=0.05,
+        )
+        assert path == store.runs_dir / f"{config.config_hash()}.json"
+        assert store.has(config.config_hash())
+        assert store.run_ids() == {config.config_hash()}
+        run = store.read_run(config.config_hash())
+        assert run.series.times == result.series.times
+        assert run.summary == result.summary
+        assert run.series_bin_width == 0.05
+        # Summary-only reads skip the inline series on schema 1 too.
+        lite = store.read_run(config.config_hash(), load_series=False)
+        assert lite.series.times == []
+        assert [r.run_id for r in store.iter_runs(load_series=False)] == [
+            config.config_hash()
+        ]
+
+    def test_rewrite_keeps_one_copy_at_the_existing_location(self, store):
+        """Overwriting a schema-1 run must not fork a second, sharded
+        copy — the store would otherwise serve whichever it found
+        first."""
+        config = config_for()
+        write_schema1_result(store, fabricate_result(config))
+        store.write_result(fabricate_result(config))
+        flat = store.runs_dir / f"{config.config_hash()}.json"
+        assert flat.is_file()
+        assert store.series_path(flat).is_file()
+        sharded_dir = store.runs_dir / config.config_hash()[:2]
+        assert not (sharded_dir / f"{config.config_hash()}.json").exists()
+        assert store.run_ids() == {config.config_hash()}
+        assert store.read_run(config.config_hash()).series.times == [0.5, 1.5]
+
+
+class TestAtomicWrites:
+    def test_concurrent_writers_never_tear_an_artifact(self, store):
+        """Regression: the fixed '<path>.json.tmp' temp name let two
+        concurrent writers of the same run_id interleave into one temp
+        file and os.replace a torn artifact into place.  With unique
+        mkstemp names, every rename lands a whole document."""
+        config = config_for()
+        run_id = config.config_hash()
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def writer(wall: float) -> None:
+            result = fabricate_result(config)
+            result.wall_seconds = wall  # quarantined; differs per writer
+            try:
+                for _ in range(30):
+                    store.write_result(result, series_bin_width=0.05)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        def reader() -> None:
+            while not stop.is_set():
+                if not store.has(run_id):
+                    continue
+                try:
+                    store.read_run(run_id)
+                except StoreError as exc:
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(float(k),))
+            for k in range(4)
+        ] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads[:-1]:
+            t.join()
+        stop.set()
+        threads[-1].join()
+
+        assert errors == []
+        run = store.read_run(run_id)  # final state is whole and valid
+        assert run.summary == fabricate_result(config).summary
+        assert not list(store.runs_dir.glob("**/*.tmp"))
 
 
 class TestStoreCache:
