@@ -26,6 +26,7 @@ files.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -75,6 +76,12 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
             "--wave", type=int, default=None, metavar="W",
             help="artifacts are written after every W runs "
             "(default: 4 x jobs)",
+        )
+        p.add_argument(
+            "--profile", default=None, metavar="FILE",
+            help="cProfile ONE missing cell (forces --jobs 1 "
+            "--max-runs 1) and dump pstats to FILE; the REPRO_PROFILE "
+            "env var is the same switch for Makefile/CI invocations",
         )
 
     p = csub.add_parser(
@@ -141,7 +148,19 @@ def cmd(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.campaign_command in ("run", "resume"):
-            return _cmd_run(spec, args)
+            try:
+                return _cmd_run(spec, args)
+            except KeyboardInterrupt:
+                # run_campaign absorbs Ctrl-C during execution; this
+                # catches the slivers before/after it (spec planning,
+                # report printing) so no invocation ever tracebacks.
+                print(
+                    "\ninterrupted; completed artifacts are on disk — "
+                    f"finish with 'python -m repro campaign resume "
+                    f"{args.spec} --root {args.root}'",
+                    file=sys.stderr,
+                )
+                return 130
         if args.campaign_command == "status":
             return _cmd_status(spec, args)
         if args.campaign_command == "figures":
@@ -161,6 +180,9 @@ def cmd(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    from repro.experiments.profiling import PROFILE_ENV_VAR
+    from repro.obs.bus import CallbackSink, EventBus
+
     if args.campaign_command == "resume" and not open_store(spec, args.root).exists():
         print(
             f"error: no store for campaign {spec.name!r} under {args.root!r} "
@@ -169,8 +191,22 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
         )
         return 2
 
+    profile_path = args.profile or os.environ.get(PROFILE_ENV_VAR) or None
+
     def progress(done: int, total: int) -> None:
         print(f"  {done}/{total} new runs complete", flush=True)
+
+    def on_run(event) -> None:
+        point = ", ".join(f"{k}={v}" for k, v in event.point.items()) or "-"
+        print(
+            f"  run {event.run_id}  seed={event.seed}  {point}  "
+            f"alpha={event.alpha:.2f}%  beta={event.beta:.2f}%  "
+            f"({event.wall_seconds:.2f}s)",
+            flush=True,
+        )
+
+    bus = EventBus()
+    bus.subscribe(CallbackSink(on_run), kinds=("campaign.run",))
 
     report = run_campaign(
         spec,
@@ -179,6 +215,8 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
         max_runs=args.max_runs,
         wave_size=args.wave,
         progress=progress,
+        bus=bus,
+        profile_path=profile_path,
     )
     state = "complete" if report.complete else "incomplete"
     print(
@@ -188,6 +226,14 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
         f"{'s' if report.jobs != 1 else ''}) -> {state}"
     )
     print(f"store: {report.store_dir}")
+    if report.interrupted:
+        print(
+            f"interrupted: {report.executed} new artifacts are on disk; "
+            f"finish with 'python -m repro campaign resume {args.spec} "
+            f"--root {args.root}'",
+            file=sys.stderr,
+        )
+        return 130
     return 0
 
 

@@ -38,6 +38,9 @@ class CampaignRunReport:
     executed: int
     jobs: int
     wall_seconds: float
+    #: True when Ctrl-C cut the invocation short.  Artifacts filed
+    #: before the interrupt are on disk; ``resume`` picks up the rest.
+    interrupted: bool = False
 
     @property
     def complete(self) -> bool:
@@ -122,6 +125,8 @@ def run_campaign(
     max_runs: int | None = None,
     wave_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    bus=None,
+    profile_path: str | None = None,
 ) -> CampaignRunReport:
     """Execute (or resume) a campaign; returns what happened.
 
@@ -133,8 +138,24 @@ def run_campaign(
     missing-run counts after each wave.  ``series_bin_width`` is pinned
     by the store's manifest on first execution; resuming with a
     different value raises rather than mixing series resolutions.
+
+    ``bus`` (an :class:`~repro.obs.bus.EventBus`) receives one
+    ``campaign.run`` event per freshly executed cell and a
+    ``campaign.progress`` event per filed wave, so callers can stream
+    status without re-reading the store.  (Runs execute in worker
+    processes; per-run events are forwarded from the parent as each
+    wave's artifacts are filed.)
+
+    A ``KeyboardInterrupt`` (Ctrl-C) stops cleanly between artifacts:
+    every fully executed wave is already filed, the report comes back
+    with ``interrupted=True``, and ``resume`` re-plans only the
+    remainder.  ``profile_path`` profiles exactly one missing cell
+    (forcing ``jobs=1, max_runs=1``) under cProfile — see
+    :mod:`repro.experiments.profiling`.
     """
     started = time.perf_counter()
+    if profile_path is not None:
+        jobs, max_runs = 1, 1
     store = open_store(spec, root).ensure()
     store.pin_series_bin_width(series_bin_width)
     store.write_manifest(spec.to_dict(), series_bin_width=series_bin_width)
@@ -154,21 +175,46 @@ def run_campaign(
         raise ValueError("wave_size must be >= 1")
 
     executed = 0
-    for start in range(0, len(missing), wave):
-        wave_runs = missing[start : start + wave]
-        batch = run_batch(
-            [run.config for run in wave_runs],
-            jobs=jobs,
-            series_bin_width=series_bin_width,
-        )
-        for planned, result in zip(wave_runs, batch.results):
-            store.write_result(
-                result, point=planned.point,
-                series_bin_width=series_bin_width,
-            )
-            executed += 1
-        if progress is not None:
-            progress(executed, len(missing))
+    interrupted = False
+    try:
+        for start in range(0, len(missing), wave):
+            wave_runs = missing[start : start + wave]
+            if profile_path is not None:
+                from repro.experiments.profiling import profiled_call
+                from repro.experiments.runner import run_experiment
+
+                batch_results = [profiled_call(
+                    lambda: run_experiment(
+                        wave_runs[0].config,
+                        series_bin_width=series_bin_width,
+                    ).detached(),
+                    profile_path,
+                )]
+            else:
+                batch_results = run_batch(
+                    [run.config for run in wave_runs],
+                    jobs=jobs,
+                    series_bin_width=series_bin_width,
+                ).results
+            for planned, result in zip(wave_runs, batch_results):
+                store.write_result(
+                    result, point=planned.point,
+                    series_bin_width=series_bin_width,
+                )
+                executed += 1
+                if bus:
+                    _emit_campaign_run(bus, planned, result)
+            if progress is not None:
+                progress(executed, len(missing))
+            if bus:
+                _emit_campaign_progress(
+                    bus, spec.name, executed, len(missing), cached
+                )
+    except KeyboardInterrupt:
+        # Waves already filed stay on disk; the in-flight wave's results
+        # are abandoned whole (never half-written — write_result is
+        # atomic and runs after the wave completes).
+        interrupted = True
 
     return CampaignRunReport(
         name=spec.name,
@@ -178,4 +224,30 @@ def run_campaign(
         executed=executed,
         jobs=jobs,
         wall_seconds=time.perf_counter() - started,
+        interrupted=interrupted,
     )
+
+
+def _emit_campaign_run(bus, planned: PlannedRun, result) -> None:
+    from repro.obs.events import CampaignRun
+
+    pct = result.summary.as_percent()
+    bus.emit(CampaignRun(
+        time=0.0,
+        run_id=planned.run_id,
+        seed=planned.seed,
+        point=dict(planned.point),
+        alpha=pct["alpha"],
+        beta=pct["beta"],
+        wall_seconds=result.wall_seconds,
+    ))
+
+
+def _emit_campaign_progress(
+    bus, name: str, done: int, total: int, cached: int
+) -> None:
+    from repro.obs.events import CampaignProgress
+
+    bus.emit(CampaignProgress(
+        time=0.0, name=name, done=done, total=total, cached=cached
+    ))

@@ -6,6 +6,8 @@ Usage::
     python -m repro run --preset pulse-train --seeds 8 --jobs 4
     python -m repro run --list-presets
     python -m repro run --list {topologies,workloads,attacks,defenses,all}
+    python -m repro serve [run flags] [--port P] [--pace X] [--linger]
+    python -m repro serve --campaign spec.toml [--root DIR]
     python -m repro figure fig3a [--scale S] [--out FILE]
     python -m repro campaign run|resume|status|report spec.toml
     python -m repro list
@@ -48,6 +50,31 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_config_flags(p: argparse.ArgumentParser) -> None:
+    """The scenario-shaping flags shared by ``run`` and ``serve``.
+
+    Workload/topology knobs default to None so that a --preset keeps
+    its own values unless a flag is given explicitly.
+    """
+    p.add_argument("--flows", type=int, default=None, help="Vt, total flows")
+    p.add_argument("--pd", type=float, default=None,
+                   help="drop probability Pd (default 0.9)")
+    p.add_argument("--tcp", type=float, default=None, help="TCP share Gamma")
+    p.add_argument("--routers", type=int, default=None, help="domain size N")
+    p.add_argument("--duration", type=float, default=None,
+                   help="run length in seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--topology", choices=TOPOLOGIES.names(), default=None)
+    p.add_argument("--workload", choices=WORKLOADS.names(), default=None)
+    p.add_argument("--attack", choices=ATTACKS.names(), default=None)
+    p.add_argument("--defense", choices=DEFENSES.names(), default=None)
+    p.add_argument(
+        "--preset", type=str, default=None,
+        help="start from a named preset (see --list-presets); "
+        "explicit flags still override",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,25 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one scenario and print metrics")
-    # Workload/topology knobs default to None so that a --preset keeps
-    # its own values unless a flag is given explicitly.
-    run_p.add_argument("--flows", type=int, default=None, help="Vt, total flows")
-    run_p.add_argument("--pd", type=float, default=None,
-                       help="drop probability Pd (default 0.9)")
-    run_p.add_argument("--tcp", type=float, default=None, help="TCP share Gamma")
-    run_p.add_argument("--routers", type=int, default=None, help="domain size N")
-    run_p.add_argument("--duration", type=float, default=None,
-                       help="run length in seconds")
-    run_p.add_argument("--seed", type=int, default=1)
-    run_p.add_argument("--topology", choices=TOPOLOGIES.names(), default=None)
-    run_p.add_argument("--workload", choices=WORKLOADS.names(), default=None)
-    run_p.add_argument("--attack", choices=ATTACKS.names(), default=None)
-    run_p.add_argument("--defense", choices=DEFENSES.names(), default=None)
-    run_p.add_argument(
-        "--preset", type=str, default=None,
-        help="start from a named preset (see --list-presets); "
-        "explicit flags still override",
-    )
+    _add_config_flags(run_p)
     run_p.add_argument(
         "--seeds", type=_positive_int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and print mean +/- CI "
@@ -99,6 +108,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list", dest="list_components", default=None,
         choices=sorted(COMPONENT_REGISTRIES) + ["all"],
         help="print one registry (or all of them) and exit",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run a scenario (or campaign shard) while serving live "
+        "metrics over HTTP: dashboard at /, Prometheus text at /metrics, "
+        "SSE at /events, JSON lines at /stream",
+    )
+    _add_config_flags(serve_p)
+    serve_p.add_argument(
+        "--campaign", default=None, metavar="SPEC",
+        help="serve a campaign instead of a single run: execute the "
+        "spec's missing cells in-process, streaming per-run events "
+        "(artifacts are filed exactly as 'campaign run' would)",
+    )
+    serve_p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="campaign artifact root (only with --campaign; "
+        "default: ./campaigns)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="HTTP port (0 = pick a free one)")
+    serve_p.add_argument(
+        "--pace", type=float, default=0.0, metavar="X",
+        help="simulated seconds advanced per wall-clock second "
+        "(0 = run at full speed); single-run mode only",
+    )
+    serve_p.add_argument(
+        "--window", type=float, default=1.0, metavar="S",
+        help="sliding window for windowed rates, in sim seconds",
+    )
+    serve_p.add_argument(
+        "--linger", action="store_true",
+        help="keep serving after the run finishes until Ctrl-C "
+        "(otherwise the server stops once the work is done)",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
@@ -205,25 +250,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _run_profiled(config: ExperimentConfig, out_path: str):
     """Run one experiment under cProfile; write stats, print the top.
 
-    Future perf work starts from data: ``python -m repro run --profile
-    out.prof`` captures exactly the single-run hot path (scenario build
-    plus the event loop), dumps pstats to ``out_path``, and shows the 15
-    most expensive functions by cumulative time.
+    Thin wrapper over :func:`repro.experiments.profiling.profiled_call`
+    — the same machinery behind ``campaign run --profile`` (and its
+    ``REPRO_PROFILE`` env-var form), which profiles one grid cell.
     """
-    import cProfile
-    import pstats
+    from repro.experiments.profiling import profiled_call
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        result = run_experiment(config)
-    finally:
-        profiler.disable()
-    profiler.dump_stats(out_path)
-    stats = pstats.Stats(profiler)
-    stats.sort_stats("cumulative").print_stats(15)
-    print(f"profile written to {out_path}")
-    return result
+    return profiled_call(lambda: run_experiment(config), out_path)
 
 
 def _cmd_run_multi_seed(config: ExperimentConfig, args: argparse.Namespace) -> int:
@@ -289,6 +322,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        from repro.obs.serve import cmd_serve
+
+        return cmd_serve(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "campaign":

@@ -29,6 +29,7 @@ Quick use::
 from __future__ import annotations
 
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -129,6 +130,19 @@ def _run_chunk(
     )
 
 
+def _worker_init() -> None:
+    """Leave SIGINT handling to the parent.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group; without this, every worker dies mid-run with its own
+    KeyboardInterrupt traceback while the parent is trying to shut the
+    pool down cleanly.  Ignoring it in workers makes the parent the
+    single interruption point — it cancels undispatched chunks and lets
+    in-flight ones finish, so no artifact is ever half-written.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _chunk_slices(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
     """Split ``range(n_items)`` into up to ``n_chunks`` contiguous slices."""
     n_chunks = max(1, min(n_chunks, n_items))
@@ -202,7 +216,9 @@ def run_batch(
                 for i, (start, stop) in enumerate(slices)
             ]
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_worker_init
+            ) as pool:
                 futures = [
                     pool.submit(
                         _run_chunk, i, list(fresh_configs[start:stop]),
@@ -210,7 +226,16 @@ def run_batch(
                     )
                     for i, (start, stop) in enumerate(slices)
                 ]
-                outputs = [future.result() for future in futures]
+                try:
+                    outputs = [future.result() for future in futures]
+                except KeyboardInterrupt:
+                    # Undispatched chunks are cancelled; chunks already
+                    # on a worker run to completion (workers ignore
+                    # SIGINT) but their results are abandoned — the
+                    # caller decides what "interrupted" means.
+                    for future in futures:
+                        future.cancel()
+                    raise
         outputs.sort(key=lambda out: out.index)
 
     fresh_results: list[ExperimentResult] = []

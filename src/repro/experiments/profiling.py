@@ -1,0 +1,40 @@
+"""cProfile wrapper shared by ``run --profile`` and ``campaign run --profile``.
+
+Future perf work starts from data: both CLIs capture exactly the
+single-run hot path (scenario build plus the event loop), dump pstats
+to a file (inspect with ``python -m pstats FILE``), and print the
+hottest functions.  The campaign variant profiles *one grid cell* —
+profiling a whole grid would smear unrelated cells together, and the
+worker processes of a parallel wave can't be profiled from the parent
+anyway — which is why :func:`repro.campaign.orchestrator.run_campaign`
+forces ``jobs=1, max_runs=1`` while a profile is requested.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Environment variable equivalent of ``--profile`` for campaign runs
+#: (handy when the invocation is buried in a Makefile or CI job).
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+def profiled_call(
+    fn: Callable[[], T], out_path: str, top: int = 15
+) -> T:
+    """Run ``fn`` under cProfile; dump stats, print the top, return."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    profiler.dump_stats(out_path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"profile written to {out_path}")
+    return result

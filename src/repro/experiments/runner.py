@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import BuiltScenario, build_scenario
-from repro.metrics.rates import MetricsSummary, summarize
+from repro.metrics.rates import DEFAULT_PRE_WINDOW, MetricsSummary, summarize
 from repro.metrics.timeseries import BandwidthSeries
 
 
@@ -53,6 +54,10 @@ def run_experiment(
     config: ExperimentConfig,
     scenario: BuiltScenario | None = None,
     series_bin_width: float = 0.05,
+    bus=None,
+    streaming_series: bool = False,
+    slice_seconds: float | None = None,
+    on_slice: Callable[[float], None] | None = None,
 ) -> ExperimentResult:
     """Build (unless given), run to ``config.duration``, and summarize.
 
@@ -60,9 +65,46 @@ def run_experiment(
     (unless ``repro.perf.FLAGS.packet_pool`` is off): the simulation
     never retains a delivered or dropped packet, so recycling is safe
     here, while unit tests that hold raw packets run with the pool off.
+
+    Observability (all off by default, and provably free when off —
+    the golden master pins every combination bit-exact):
+
+    ``bus``
+        An :class:`~repro.obs.bus.EventBus`; the scenario's collectors,
+        monitor, and victim-side links publish onto it, and the runner
+        brackets the run with ``run.started``/``run.completed`` events.
+    ``streaming_series``
+        Replace the buffered victim collector (which hoards one tuple
+        per arrival) with the bounded-memory streaming one; the summary
+        and series are float-identical, the memory is O(bins).
+    ``slice_seconds`` / ``on_slice``
+        Execute the run in clock slices of at most ``slice_seconds``
+        simulated seconds, invoking ``on_slice(sim_now)`` between
+        slices.  Slicing runs the *identical* event sequence (the event
+        loop just pauses at slice boundaries); the serve layer uses it
+        for wall-clock pacing and Ctrl-C responsiveness.
     """
     from repro.perf import FLAGS
     from repro.sim.packet import enable_packet_pool, reset_packet_ids
+
+    reduction_window = config.mafic.probe_window(None)
+    victim_collector = None
+    if streaming_series:
+        from repro.metrics.collectors import StreamingVictimCollector
+
+        victim_collector = StreamingVictimCollector(
+            duration=config.duration,
+            series_bin_width=series_bin_width,
+            reduction_window=reduction_window,
+            pre_window=DEFAULT_PRE_WINDOW,
+            bus=bus,
+        )
+
+    if scenario is not None and victim_collector is not None:
+        raise ValueError(
+            "streaming_series only applies when the runner builds the "
+            "scenario; a pre-built scenario already owns its collector"
+        )
 
     reset_packet_ids()
     pooled = FLAGS.packet_pool
@@ -70,32 +112,42 @@ def run_experiment(
         enable_packet_pool(True)
     try:
         if scenario is None:
-            scenario = build_scenario(config)
+            scenario = build_scenario(
+                config, bus=bus, victim_collector=victim_collector
+            )
+        if bus:
+            _emit_run_started(bus, config)
         started = time.perf_counter()
-        scenario.sim.run(until=config.duration)
+        if slice_seconds is None and on_slice is None:
+            scenario.sim.run(until=config.duration)
+        else:
+            _run_sliced(scenario.sim, config.duration, slice_seconds, on_slice)
         wall = time.perf_counter() - started
     finally:
         if pooled:
             enable_packet_pool(False)
 
-    reduction_window = config.mafic.probe_window(None)
     summary = summarize(
         scenario.defense_collector,
         scenario.victim_collector,
         reduction_window=reduction_window,
     )
-    series = BandwidthSeries.from_arrivals(
-        scenario.victim_collector.arrivals,
-        start=0.0,
-        end=config.duration,
-        bin_width=series_bin_width,
-    )
+    victim = scenario.victim_collector
+    if hasattr(victim, "series"):
+        series = victim.series.finish()
+    else:
+        series = BandwidthSeries.from_arrivals(
+            victim.arrivals,
+            start=0.0,
+            end=config.duration,
+            bin_width=series_bin_width,
+        )
     identified = {
         request.atr_name
         for request in scenario.coordinator.requests
         if request.action == "start"
     }
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         summary=summary,
         series=series,
@@ -106,3 +158,57 @@ def run_experiment(
         events_executed=scenario.sim.events_executed,
         wall_seconds=wall,
     )
+    if bus:
+        _emit_run_completed(bus, result)
+    return result
+
+
+def _run_sliced(sim, duration: float, slice_seconds, on_slice) -> None:
+    """Advance the clock in bounded slices, pausing between them.
+
+    ``sim.run(until=t)`` executes every event with time <= t and leaves
+    the queue untouched otherwise, so repeated calls execute exactly the
+    events a single ``run(until=duration)`` would, in the same order.
+    """
+    step = 0.05 if slice_seconds is None else float(slice_seconds)
+    if step <= 0:
+        raise ValueError("slice_seconds must be positive")
+    t = 0.0
+    while t < duration:
+        t = min(t + step, duration)
+        sim.run(until=t)
+        if on_slice is not None:
+            on_slice(sim.now)
+
+
+def _emit_run_started(bus, config: ExperimentConfig) -> None:
+    from repro.obs.events import RunStarted
+
+    bus.emit(RunStarted(
+        time=0.0,
+        run_id=config.config_hash(),
+        seed=config.seed,
+        scenario=(
+            f"{config.topology}/{config.workload}/"
+            f"{config.attack}/{config.defense}"
+        ),
+        duration=config.duration,
+    ))
+
+
+def _emit_run_completed(bus, result: ExperimentResult) -> None:
+    from repro.obs.events import RunCompleted
+
+    pct = result.summary.as_percent()
+    bus.emit(RunCompleted(
+        time=result.config.duration,
+        run_id=result.config.config_hash(),
+        seed=result.config.seed,
+        alpha=pct["alpha"],
+        beta=pct["beta"],
+        theta_p=pct["theta_p"],
+        theta_n=pct["theta_n"],
+        lr=pct["Lr"],
+        events_executed=result.events_executed,
+        wall_seconds=result.wall_seconds,
+    ))

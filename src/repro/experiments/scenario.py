@@ -69,6 +69,9 @@ class BuiltScenario:
     ingress_filters: dict[str, IngressFilter] = field(default_factory=dict)
     # Workload attachments (e.g. the web-mice DynamicWorkload) land here.
     mice: object | None = None
+    # The observability bus every layer publishes into (None = batch
+    # mode, zero overhead — see repro.obs).
+    bus: object | None = None
 
     @property
     def sim(self):
@@ -76,15 +79,29 @@ class BuiltScenario:
         return self.topology.sim
 
 
-def build_scenario(config: ExperimentConfig) -> BuiltScenario:
-    """Assemble a full scenario from one config (does not run it)."""
+def build_scenario(
+    config: ExperimentConfig,
+    bus=None,
+    victim_collector=None,
+) -> BuiltScenario:
+    """Assemble a full scenario from one config (does not run it).
+
+    ``bus`` (an :class:`~repro.obs.bus.EventBus`) threads streaming
+    observability through every layer: the collectors, the monitor, and
+    the victim-side links all publish onto it.  ``victim_collector``
+    overrides the arrival accountant — :func:`run_experiment` passes a
+    :class:`~repro.metrics.collectors.StreamingVictimCollector` here in
+    streaming-series mode.  Both default to off, which is the bit-exact
+    zero-overhead batch path.
+    """
     rngs = RngRegistry(config.seed)
     topology = TOPOLOGIES.get(config.topology)(config, **config.topology_args)
     sim = topology.sim
     trace = EventTrace(
         enabled=config.trace_enabled, max_records=config.trace_max_records
     )
-    victim_collector = VictimMetricsCollector()
+    if victim_collector is None:
+        victim_collector = VictimMetricsCollector(bus=bus)
 
     # ------------------------------------------------------------- sinks
     victim_host = topology.victim_host
@@ -130,7 +147,7 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
     estimator.register_egress(victim_counter)
 
     # ------------------------------------------------------------ defence
-    defense_collector = DefenseMetricsCollector(flow_truth)
+    defense_collector = DefenseMetricsCollector(flow_truth, bus=bus)
     agents = DEFENSES.get(config.defense)(
         DefenseContext(
             topology=topology,
@@ -175,8 +192,16 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
         estimator,
         period=config.monitor_period,
         on_snapshot=coordinator.on_snapshot,
+        bus=bus,
     )
     monitor.start()
+
+    if bus:
+        # Link-level drop visibility where it matters: the victim's
+        # access link (congestion collapse) and every defended ingress.
+        topology.victim_access_link().bus = bus
+        for name in topology.ingress_names:
+            topology.ingress_uplink(name).bus = bus
 
     if config.force_activation_at is not None and agents:
         # Model the victim's explicit DDoS notification: every ATR starts
@@ -207,6 +232,7 @@ def build_scenario(config: ExperimentConfig) -> BuiltScenario:
         udp_sink=udp_sink,
         control_plane=control_plane,
         ingress_filters=ingress_filters,
+        bus=bus,
     )
     if workload.finalize is not None:
         workload.finalize(scenario)

@@ -4,13 +4,32 @@ The defence never reads ground truth; these collectors do.  A packet's
 ``is_attack`` flag and a flow-hash -> :class:`FlowTruth` map (built by
 the experiment, which knows which flows it created) classify every
 decision the ATRs and the victim sink observe.
+
+Both collectors double as event *publishers*: pass an
+:class:`~repro.obs.bus.EventBus` and every decision, verdict, arrival,
+and activation is emitted onto it in addition to the counter updates.
+With no bus attached (the default), the only added cost is one falsy
+check per call — the counters and summaries are bit-identical either
+way, which the golden-master suite pins.
+
+For bounded-memory runs, :class:`StreamingVictimCollector` replaces the
+raw-arrival hoard with a windowed series aggregator plus just enough
+recent history for the β windows (see :meth:`beta_rates`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from enum import Enum
 
+from repro.obs.bus import NULL_BUS, MetricSink
+from repro.obs.events import (
+    DefenseActivation,
+    DefenseDecision,
+    Verdict,
+    VictimArrival,
+)
 from repro.sim.packet import Packet
 
 
@@ -43,8 +62,13 @@ class DefenseMetricsCollector:
     defence line, which is how the paper reports its rates).
     """
 
-    def __init__(self, flow_truth: dict[int, FlowTruth] | None = None) -> None:
+    def __init__(
+        self,
+        flow_truth: dict[int, FlowTruth] | None = None,
+        bus: MetricSink | None = None,
+    ) -> None:
         self.flow_truth = flow_truth if flow_truth is not None else {}
+        self.bus = bus if bus is not None else NULL_BUS
         self.counts: dict[FlowTruth, _ClassCounts] = {
             truth: _ClassCounts() for truth in FlowTruth
         }
@@ -55,7 +79,8 @@ class DefenseMetricsCollector:
 
     def on_defense_drop(self, packet: Packet, reason: str, now: float) -> None:
         """Record one dropped packet with its ground-truth class."""
-        counts = self.counts[self._classify(packet)]
+        truth = self._classify(packet)
+        counts = self.counts[truth]
         counts.examined += 1
         counts.dropped += 1
         if reason == "probe":
@@ -68,17 +93,24 @@ class DefenseMetricsCollector:
             counts.dropped_policy += 1
         if self.first_drop_time is None:
             self.first_drop_time = now
+        if self.bus:
+            self.bus.emit(DefenseDecision(now, "drop", reason, truth.value))
 
     def on_defense_pass(self, packet: Packet, now: float) -> None:
         """Record one passed packet."""
-        counts = self.counts[self._classify(packet)]
+        truth = self._classify(packet)
+        counts = self.counts[truth]
         counts.examined += 1
         counts.passed += 1
+        if self.bus:
+            self.bus.emit(DefenseDecision(now, "pass", "", truth.value))
 
     def on_verdict(self, label, verdict: str, now: float) -> None:
         """Record a table verdict with the flow's ground truth."""
         truth = self.flow_truth.get(int(label), FlowTruth.UNKNOWN)
         self.verdicts.append((now, int(label), verdict, truth))
+        if self.bus:
+            self.bus.emit(Verdict(now, int(label), verdict, truth.value))
 
     # ----------------------------------------------------------- summaries
 
@@ -118,7 +150,8 @@ class VictimMetricsCollector:
     be computed after the run with any bucketing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: MetricSink | None = None) -> None:
+        self.bus = bus if bus is not None else NULL_BUS
         self.arrivals: list[tuple[float, int, bool]] = []
         self.attack_packets = 0
         self.legit_packets = 0
@@ -126,16 +159,21 @@ class VictimMetricsCollector:
 
     def on_packet(self, packet: Packet, now: float) -> None:
         """Record one arrival at the victim."""
-        self.arrivals.append((now, packet.size, packet.is_attack))
-        if packet.is_attack:
+        is_attack = packet.is_attack
+        self.arrivals.append((now, packet.size, is_attack))
+        if is_attack:
             self.attack_packets += 1
         else:
             self.legit_packets += 1
+        if self.bus:
+            self.bus.emit(VictimArrival(now, packet.size, is_attack))
 
     def mark_defense_activation(self, now: float) -> None:
         """Stamp the first pushback-start instant (for β and θn windows)."""
         if self.defense_activated_at is None:
             self.defense_activated_at = now
+            if self.bus:
+                self.bus.emit(DefenseActivation(now))
 
     def arrivals_in(self, start: float, end: float) -> tuple[int, int]:
         """(attack, legit) packet counts with ``start <= t < end``."""
@@ -157,3 +195,144 @@ class VictimMetricsCollector:
         if end <= start:
             raise ValueError("end must exceed start")
         return self.bytes_in(start, end) * 8.0 / (end - start)
+
+    def beta_rates(
+        self, reduction_window: float, pre_window: float
+    ) -> tuple[float, float]:
+        """(rate_before, rate_after) bits/s around defence activation.
+
+        ``rate_before`` spans the ``pre_window`` ending at activation;
+        ``rate_after`` spans one ``reduction_window`` offset a quarter
+        window past activation (letting queued packets flush) — the β
+        definition documented in :mod:`repro.metrics.rates`.  Returns
+        (0.0, 0.0) when the defence never activated.
+        """
+        t0 = self.defense_activated_at
+        if t0 is None:
+            return 0.0, 0.0
+        w = max(1e-6, reduction_window)
+        rate_before = self.rate_bps_in(max(0.0, t0 - pre_window), t0)
+        rate_after = self.rate_bps_in(t0 + 0.25 * w, t0 + 1.25 * w)
+        return rate_before, rate_after
+
+
+class StreamingVictimCollector:
+    """Bounded-memory drop-in for :class:`VictimMetricsCollector`.
+
+    Instead of hoarding every arrival, it
+
+    * streams arrivals into a
+      :class:`~repro.metrics.timeseries.StreamingBandwidthSeries`
+      (memory bounded by the bin count),
+    * keeps a deque of only the most recent ``pre_window`` seconds of
+      arrivals — enough to compute the β *before* window exactly when
+      activation strikes — and discards it afterwards, and
+    * accumulates the β *after* window as its arrivals stream past.
+
+    Every retained quantity uses the same arithmetic, on the same
+    arrival subsequence, as the buffered collector's post-hoc
+    computation, so :meth:`beta_rates` and the finished series are
+    float-identical to the buffered path (pinned by the identity tests
+    and the golden master's streaming parametrization).
+
+    The β windows are fixed at construction; :func:`summarize` must be
+    called with the same values (it asserts so via :meth:`beta_rates`).
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        series_bin_width: float = 0.05,
+        reduction_window: float = 0.12,
+        pre_window: float = 0.2,
+        bus: MetricSink | None = None,
+    ) -> None:
+        from repro.metrics.timeseries import StreamingBandwidthSeries
+
+        if pre_window <= 0:
+            raise ValueError("pre_window must be positive")
+        self.bus = bus if bus is not None else NULL_BUS
+        self.series = StreamingBandwidthSeries(
+            start=0.0, end=duration, bin_width=series_bin_width
+        )
+        self.reduction_window = float(reduction_window)
+        self.pre_window = float(pre_window)
+        self.attack_packets = 0
+        self.legit_packets = 0
+        self.defense_activated_at: float | None = None
+        # (time, size) of arrivals within pre_window of the newest one;
+        # cleared the moment activation fixes the before-window rate.
+        self._recent: deque[tuple[float, int]] | None = deque()
+        self._rate_before = 0.0
+        # The after window [t0 + w/4, t0 + 5w/4): bounds set at
+        # activation, bytes accumulated as covered arrivals stream by.
+        self._after_start = 0.0
+        self._after_end = 0.0
+        self._after_span = 0.0
+        self._after_bytes = 0
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        """Record one arrival (stream it; retain only the β windows)."""
+        is_attack = packet.is_attack
+        size = packet.size
+        if is_attack:
+            self.attack_packets += 1
+        else:
+            self.legit_packets += 1
+        self.series.observe(now, size, is_attack)
+        recent = self._recent
+        if recent is not None:
+            recent.append((now, size))
+            cutoff = now - self.pre_window
+            while recent and recent[0][0] < cutoff:
+                recent.popleft()
+        elif self._after_start <= now < self._after_end:
+            self._after_bytes += size
+        if self.bus:
+            self.bus.emit(VictimArrival(now, size, is_attack))
+
+    def mark_defense_activation(self, now: float) -> None:
+        """Stamp activation; fix the β before-window rate exactly."""
+        if self.defense_activated_at is not None:
+            return
+        self.defense_activated_at = now
+        t0 = now
+        start = max(0.0, t0 - self.pre_window)
+        # Same predicate, operand order, and integer sum as the buffered
+        # collector's bytes_in(start, t0) over the full arrival list:
+        # arrivals older than `start` were pruned, newer ones filtered.
+        total = sum(
+            size for t, size in self._recent if start <= t < t0
+        )
+        self._rate_before = total * 8.0 / (t0 - start)
+        self._recent = None  # β before fixed; stop retaining history
+        w = max(1e-6, self.reduction_window)
+        self._after_start = t0 + 0.25 * w
+        self._after_end = t0 + 1.25 * w
+        self._after_span = self._after_end - self._after_start
+        if self.bus:
+            self.bus.emit(DefenseActivation(now))
+
+    def beta_rates(
+        self, reduction_window: float, pre_window: float
+    ) -> tuple[float, float]:
+        """(rate_before, rate_after) — see the buffered counterpart.
+
+        Raises if asked for different windows than it was built to
+        stream, since those can no longer be recomputed.
+        """
+        if self.defense_activated_at is None:
+            return 0.0, 0.0
+        if (
+            reduction_window != self.reduction_window
+            or pre_window != self.pre_window
+        ):
+            raise ValueError(
+                "StreamingVictimCollector accumulated "
+                f"(reduction_window={self.reduction_window}, "
+                f"pre_window={self.pre_window}) but beta_rates asked for "
+                f"({reduction_window}, {pre_window}); construct the "
+                "collector with the windows summarize will use"
+            )
+        rate_after = self._after_bytes * 8.0 / self._after_span
+        return self._rate_before, rate_after

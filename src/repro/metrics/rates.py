@@ -36,8 +36,15 @@ from dataclasses import dataclass
 from repro.metrics.collectors import (
     DefenseMetricsCollector,
     FlowTruth,
+    StreamingVictimCollector,
     VictimMetricsCollector,
 )
+
+
+#: Default β peak-measurement window ending at activation (seconds).
+#: Shared with the runner so a streaming victim collector accumulates
+#: exactly the windows :func:`summarize` will ask for.
+DEFAULT_PRE_WINDOW = 0.2
 
 
 @dataclass
@@ -72,9 +79,9 @@ class MetricsSummary:
 
 def summarize(
     defense: DefenseMetricsCollector,
-    victim: VictimMetricsCollector | None = None,
+    victim: VictimMetricsCollector | StreamingVictimCollector | None = None,
     reduction_window: float = 0.12,
-    pre_window: float = 0.2,
+    pre_window: float = DEFAULT_PRE_WINDOW,
 ) -> MetricsSummary:
     """Fold collectors into a :class:`MetricsSummary`.
 
@@ -95,10 +102,9 @@ def summarize(
     beta = 0.0
     rate_before = rate_after = 0.0
     if victim is not None and victim.defense_activated_at is not None:
-        t0 = victim.defense_activated_at
-        w = max(1e-6, reduction_window)
-        rate_before = victim.rate_bps_in(max(0.0, t0 - pre_window), t0)
-        rate_after = victim.rate_bps_in(t0 + 0.25 * w, t0 + 1.25 * w)
+        # Both the buffered and the streaming victim collector expose
+        # beta_rates with identical arithmetic; see their docstrings.
+        rate_before, rate_after = victim.beta_rates(reduction_window, pre_window)
         if rate_before > 0:
             beta = max(0.0, 1.0 - rate_after / rate_before)
 

@@ -73,3 +73,61 @@ class BandwidthSeries:
 
     def __len__(self) -> int:
         return len(self.times)
+
+
+class StreamingBandwidthSeries:
+    """Windowed streaming construction of a :class:`BandwidthSeries`.
+
+    Feed arrival events one at a time with :meth:`observe`; call
+    :meth:`finish` once for the finished series.  Memory is bounded by
+    the bin count (three float lists), never by the arrival count — the
+    whole point of the sink refactor for long runs.
+
+    **Bit-exactness contract:** the per-event arithmetic (bin index,
+    kbit conversion, accumulation order) and the final kbps scaling are
+    the *same operations in the same order* as
+    :meth:`BandwidthSeries.from_arrivals` applied to the same arrival
+    sequence, so the two paths produce float-identical series.  The
+    equivalence test in ``tests/obs`` pins this against randomized
+    arrival streams, and the golden master pins it end-to-end.
+    """
+
+    def __init__(self, start: float, end: float, bin_width: float = 0.05) -> None:
+        if end <= start:
+            raise ValueError("end must exceed start")
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.start = float(start)
+        self.end = float(end)
+        self.bin_width = float(bin_width)
+        self.n_bins = max(1, int(math.ceil((end - start) / bin_width)))
+        self._total = [0.0] * self.n_bins
+        self._attack = [0.0] * self.n_bins
+        self._legit = [0.0] * self.n_bins
+        self.observed = 0
+
+    def observe(self, t: float, size: int, is_attack: bool) -> None:
+        """Fold one (time, size, is_attack) arrival into its bin."""
+        if not self.start <= t < self.end:
+            return
+        idx = min(self.n_bins - 1, int((t - self.start) / self.bin_width))
+        kbits = size * 8.0 / 1e3
+        self._total[idx] += kbits
+        if is_attack:
+            self._attack[idx] += kbits
+        else:
+            self._legit[idx] += kbits
+        self.observed += 1
+
+    def finish(self) -> BandwidthSeries:
+        """The completed series (kbits per bin scaled to kbps)."""
+        scale = 1.0 / self.bin_width
+        times = [
+            self.start + (i + 0.5) * self.bin_width for i in range(self.n_bins)
+        ]
+        return BandwidthSeries(
+            times=times,
+            total_kbps=[v * scale for v in self._total],
+            attack_kbps=[v * scale for v in self._attack],
+            legit_kbps=[v * scale for v in self._legit],
+        )

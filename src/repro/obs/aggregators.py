@@ -1,0 +1,197 @@
+"""Windowed streaming aggregation over the event bus.
+
+:class:`LiveMetrics` is the sink behind ``repro serve``: it folds the
+event stream into monotonic totals plus sliding-window rates (per-flow
+arrival rates, MAFIC verdict churn, drop ratios) with **bounded
+memory** — the window deques hold at most one entry per event inside
+the window, pruned as time advances, and everything else is O(1)
+counters.  It is thread-safe: the simulation thread ``emit``\\ s while
+HTTP handler threads read snapshots.
+
+The *series* streaming aggregator (bit-exact replacement for
+``BandwidthSeries.from_arrivals``) lives with the series type itself in
+:mod:`repro.metrics.timeseries`; this module is only about live views.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.events import MetricEvent
+
+
+class LiveMetrics:
+    """Sliding-window live view of a running scenario.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length in *simulation* seconds for the rate
+        figures (arrival kbps, drops/s, verdicts/s).
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._lock = threading.Lock()
+        # ----------------------------------------------- monotonic totals
+        self.sim_time = 0.0
+        self.arrivals_total = 0
+        self.arrival_bytes_total = 0
+        self.attack_arrivals_total = 0
+        self.legit_arrivals_total = 0
+        self.decisions_total: dict[str, int] = {}  # action -> count
+        self.drops_by_reason: dict[str, int] = {}
+        self.decisions_by_truth: dict[tuple[str, str], int] = {}
+        self.verdicts_total: dict[str, int] = {}  # verdict -> count
+        self.verdict_confusion: dict[tuple[str, str], int] = {}
+        self.link_drops: dict[tuple[str, str], int] = {}  # (link, reason)
+        self.activation_time: float | None = None
+        self.epochs = 0
+        self.events_executed = 0
+        self.pending_events = 0
+        self.queue_backend = ""
+        self.runs_started = 0
+        self.runs_completed = 0
+        self.last_run: dict | None = None
+        self.campaign: dict | None = None
+        # -------------------------------------------------- sliding window
+        # (time, bytes, is_attack) / (time,) tuples, pruned by sim time.
+        self._arrival_window: deque[tuple[float, int, bool]] = deque()
+        self._drop_window: deque[float] = deque()
+        self._verdict_window: deque[float] = deque()
+
+    # ------------------------------------------------------------ sink API
+
+    def emit(self, event: MetricEvent) -> None:
+        kind = event.kind
+        with self._lock:
+            if event.time > self.sim_time:
+                self.sim_time = event.time
+            if kind == "victim.arrival":
+                self.arrivals_total += 1
+                self.arrival_bytes_total += event.size
+                if event.is_attack:
+                    self.attack_arrivals_total += 1
+                else:
+                    self.legit_arrivals_total += 1
+                self._arrival_window.append(
+                    (event.time, event.size, event.is_attack)
+                )
+            elif kind == "defense.decision":
+                self.decisions_total[event.action] = (
+                    self.decisions_total.get(event.action, 0) + 1
+                )
+                key = (event.truth, event.action)
+                self.decisions_by_truth[key] = (
+                    self.decisions_by_truth.get(key, 0) + 1
+                )
+                if event.action == "drop":
+                    self.drops_by_reason[event.reason] = (
+                        self.drops_by_reason.get(event.reason, 0) + 1
+                    )
+                    self._drop_window.append(event.time)
+            elif kind == "defense.verdict":
+                self.verdicts_total[event.verdict] = (
+                    self.verdicts_total.get(event.verdict, 0) + 1
+                )
+                key = (event.truth, event.verdict)
+                self.verdict_confusion[key] = (
+                    self.verdict_confusion.get(key, 0) + 1
+                )
+                self._verdict_window.append(event.time)
+            elif kind == "defense.activation":
+                if self.activation_time is None:
+                    self.activation_time = event.time
+            elif kind == "monitor.snapshot":
+                self.epochs = event.epoch
+            elif kind == "engine.stats":
+                self.events_executed = event.events_executed
+                self.pending_events = event.pending
+                self.queue_backend = event.backend
+            elif kind == "link.drop":
+                key = (event.link, event.reason)
+                self.link_drops[key] = self.link_drops.get(key, 0) + 1
+            elif kind == "run.started":
+                self.runs_started += 1
+            elif kind == "run.completed":
+                self.runs_completed += 1
+                self.last_run = event.to_dict()
+            elif kind == "campaign.progress":
+                self.campaign = event.to_dict()
+            self._prune(self.sim_time)
+
+    def close(self) -> None:
+        """Nothing to flush; the last snapshot stays readable."""
+
+    # ----------------------------------------------------------- windowing
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window
+        window = self._arrival_window
+        while window and window[0][0] < cutoff:
+            window.popleft()
+        drops = self._drop_window
+        while drops and drops[0] < cutoff:
+            drops.popleft()
+        verdicts = self._verdict_window
+        while verdicts and verdicts[0] < cutoff:
+            verdicts.popleft()
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """One consistent dict of totals + windowed rates (thread-safe).
+
+        Windowed figures divide by the configured window, so early-run
+        values ramp up from zero rather than spiking (same convention as
+        Prometheus ``rate()`` over a fixed range).
+        """
+        with self._lock:
+            window_bytes = sum(entry[1] for entry in self._arrival_window)
+            window_attack = sum(
+                entry[1] for entry in self._arrival_window if entry[2]
+            )
+            dropped = self.decisions_total.get("drop", 0)
+            examined = dropped + self.decisions_total.get("pass", 0)
+            return {
+                "sim_time": self.sim_time,
+                "window_seconds": self.window,
+                "arrivals_total": self.arrivals_total,
+                "attack_arrivals_total": self.attack_arrivals_total,
+                "legit_arrivals_total": self.legit_arrivals_total,
+                "arrival_bytes_total": self.arrival_bytes_total,
+                "arrival_kbps": window_bytes * 8.0 / 1e3 / self.window,
+                "attack_kbps": window_attack * 8.0 / 1e3 / self.window,
+                "legit_kbps": (
+                    (window_bytes - window_attack) * 8.0 / 1e3 / self.window
+                ),
+                "examined_total": examined,
+                "dropped_total": dropped,
+                "drop_ratio": dropped / examined if examined else 0.0,
+                "drops_per_second": len(self._drop_window) / self.window,
+                "drops_by_reason": dict(self.drops_by_reason),
+                "verdicts_total": dict(self.verdicts_total),
+                "verdicts_per_second": len(self._verdict_window) / self.window,
+                "verdict_confusion": {
+                    f"{truth}:{verdict}": count
+                    for (truth, verdict), count in sorted(
+                        self.verdict_confusion.items()
+                    )
+                },
+                "activation_time": self.activation_time,
+                "epochs": self.epochs,
+                "events_executed": self.events_executed,
+                "pending_events": self.pending_events,
+                "queue_backend": self.queue_backend,
+                "link_drops": {
+                    f"{link}:{reason}": count
+                    for (link, reason), count in sorted(self.link_drops.items())
+                },
+                "runs_started": self.runs_started,
+                "runs_completed": self.runs_completed,
+                "last_run": self.last_run,
+                "campaign": self.campaign,
+            }

@@ -1,0 +1,206 @@
+"""Metric event types carried by the observability bus.
+
+Every event is a slotted dataclass with a class-level ``kind`` string
+(dotted, Prometheus-label friendly) and a :meth:`to_dict` that yields a
+flat JSON-serializable payload — the exact shape ``repro serve`` streams
+as JSON lines / SSE.  Producers construct events **only when a sink is
+attached** (the bus is falsy when nobody listens), so the batch hot path
+never pays for event allocation.
+
+The taxonomy mirrors the layers that publish:
+
+==================  ====================================================
+kind                producer
+==================  ====================================================
+victim.arrival      victim metrics collector (one per arriving packet)
+defense.decision    defence line (one per examined packet: drop/pass)
+defense.verdict     MAFIC table verdicts, with ground truth attached
+defense.activation  first pushback-start instant
+monitor.snapshot    TrafficMonitor epoch (traffic-matrix recompute)
+engine.stats        scheduler/queue occupancy, piggybacked on epochs
+link.drop           a link-head hook, queue, or failed link ate a packet
+link.stats          periodic per-link counter snapshot (serve layer)
+run.started         run_experiment, after scenario build
+run.completed       run_experiment, with the headline summary
+campaign.run        orchestrator, one per freshly executed cell
+campaign.progress   orchestrator, after every filed wave
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class MetricEvent:
+    """Base event: a timestamped occurrence on the bus.
+
+    ``time`` is *simulation* time for sim/metrics events and 0.0 for
+    orchestration events that happen outside any one run's clock.
+    """
+
+    kind = "event"
+
+    time: float
+
+    def to_dict(self) -> dict:
+        """Flat JSON payload (``kind`` + every field)."""
+        payload = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+@dataclass(slots=True)
+class VictimArrival(MetricEvent):
+    """One packet reached the victim host."""
+
+    kind = "victim.arrival"
+
+    size: int
+    is_attack: bool
+
+
+@dataclass(slots=True)
+class DefenseDecision(MetricEvent):
+    """The defence line examined one packet.
+
+    ``action`` is ``"drop"`` or ``"pass"``; ``reason`` is the drop
+    reason (``probe``/``pdt``/``illegal``/``policy``) or ``""`` for a
+    pass.  ``truth`` is the packet's ground-truth class value.
+    """
+
+    kind = "defense.decision"
+
+    action: str
+    reason: str
+    truth: str
+
+
+@dataclass(slots=True)
+class Verdict(MetricEvent):
+    """A MAFIC table verdict, classified against ground truth."""
+
+    kind = "defense.verdict"
+
+    label: int
+    verdict: str
+    truth: str
+
+
+@dataclass(slots=True)
+class DefenseActivation(MetricEvent):
+    """First pushback-start instant of the run."""
+
+    kind = "defense.activation"
+
+
+@dataclass(slots=True)
+class MonitorSnapshot(MetricEvent):
+    """One TrafficMonitor epoch finished its matrix recompute."""
+
+    kind = "monitor.snapshot"
+
+    epoch: int
+    n_sources: int
+    n_destinations: int
+    ingress_total: float
+    egress_total: float
+
+
+@dataclass(slots=True)
+class EngineStats(MetricEvent):
+    """Scheduler/queue occupancy (piggybacked on monitor epochs)."""
+
+    kind = "engine.stats"
+
+    backend: str
+    events_executed: int
+    pending: int
+    peak_occupancy: int
+
+
+@dataclass(slots=True)
+class LinkDrop(MetricEvent):
+    """A link consumed an offered packet instead of forwarding it.
+
+    ``reason`` is ``"hook"`` (a head hook ate it), ``"queue"`` (tail
+    drop), or ``"down"`` (link failed).
+    """
+
+    kind = "link.drop"
+
+    link: str
+    reason: str
+
+
+@dataclass(slots=True)
+class LinkStats(MetricEvent):
+    """Periodic per-link counter snapshot."""
+
+    kind = "link.stats"
+
+    link: str
+    packets_offered: int
+    packets_sent: int
+    bytes_sent: int
+    hook_drops: int
+    failure_drops: int
+    queue_len: int
+
+
+@dataclass(slots=True)
+class RunStarted(MetricEvent):
+    """A run began executing (time is always 0.0)."""
+
+    kind = "run.started"
+
+    run_id: str
+    seed: int
+    scenario: str
+    duration: float
+
+
+@dataclass(slots=True)
+class RunCompleted(MetricEvent):
+    """A run finished; carries the paper's headline rates (percent)."""
+
+    kind = "run.completed"
+
+    run_id: str
+    seed: int
+    alpha: float
+    beta: float
+    theta_p: float
+    theta_n: float
+    lr: float
+    events_executed: int
+    wall_seconds: float
+
+
+@dataclass(slots=True)
+class CampaignRun(MetricEvent):
+    """The orchestrator executed (not cache-hit) one grid cell."""
+
+    kind = "campaign.run"
+
+    run_id: str
+    seed: int
+    point: dict
+    alpha: float
+    beta: float
+    wall_seconds: float
+
+
+@dataclass(slots=True)
+class CampaignProgress(MetricEvent):
+    """Wave-granular campaign progress: ``done`` of ``total`` new runs."""
+
+    kind = "campaign.progress"
+
+    name: str
+    done: int
+    total: int
+    cached: int

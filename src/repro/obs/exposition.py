@@ -1,0 +1,158 @@
+"""Prometheus text exposition of :class:`~repro.obs.aggregators.LiveMetrics`.
+
+Version 0.0.4 of the text format, stdlib only: ``# HELP``/``# TYPE``
+headers, ``metric{label="value"} number`` samples.  Counters end in
+``_total``; windowed figures are gauges.  The format is pinned by a unit
+test so dashboards scraping ``/metrics`` don't silently break.
+"""
+
+from __future__ import annotations
+
+from repro.obs.aggregators import LiveMetrics
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _sample(name: str, value, labels: dict[str, str] | None = None) -> str:
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape(str(val))}"' for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value}"
+    return f"{name} {value}"
+
+
+def render_prometheus(live: LiveMetrics) -> str:
+    """The ``/metrics`` page body for one live-metrics snapshot."""
+    snap = live.snapshot()
+    lines: list[str] = []
+
+    def metric(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    metric("repro_sim_time_seconds", "gauge", "Current simulation time.")
+    lines.append(_sample("repro_sim_time_seconds", snap["sim_time"]))
+
+    metric(
+        "repro_victim_arrivals_total", "counter",
+        "Packets that reached the victim host, by ground truth.",
+    )
+    lines.append(_sample(
+        "repro_victim_arrivals_total", snap["attack_arrivals_total"],
+        {"truth": "attack"},
+    ))
+    lines.append(_sample(
+        "repro_victim_arrivals_total", snap["legit_arrivals_total"],
+        {"truth": "legit"},
+    ))
+
+    metric(
+        "repro_victim_arrival_bytes_total", "counter",
+        "Bytes that reached the victim host.",
+    )
+    lines.append(_sample(
+        "repro_victim_arrival_bytes_total", snap["arrival_bytes_total"]
+    ))
+
+    metric(
+        "repro_victim_arrival_kbps", "gauge",
+        "Windowed victim arrival rate (kbit/s), by ground truth.",
+    )
+    lines.append(_sample(
+        "repro_victim_arrival_kbps", snap["attack_kbps"], {"truth": "attack"}
+    ))
+    lines.append(_sample(
+        "repro_victim_arrival_kbps", snap["legit_kbps"], {"truth": "legit"}
+    ))
+
+    metric(
+        "repro_defense_examined_total", "counter",
+        "Packets examined by the defence line.",
+    )
+    lines.append(_sample("repro_defense_examined_total", snap["examined_total"]))
+
+    metric(
+        "repro_defense_drops_total", "counter",
+        "Defence-line drops by reason.",
+    )
+    for reason, count in sorted(snap["drops_by_reason"].items()):
+        lines.append(_sample(
+            "repro_defense_drops_total", count, {"reason": reason}
+        ))
+
+    metric(
+        "repro_defense_drop_ratio", "gauge",
+        "Dropped / examined over the whole run so far.",
+    )
+    lines.append(_sample("repro_defense_drop_ratio", snap["drop_ratio"]))
+
+    metric(
+        "repro_defense_drops_per_second", "gauge",
+        "Windowed defence drop rate.",
+    )
+    lines.append(_sample(
+        "repro_defense_drops_per_second", snap["drops_per_second"]
+    ))
+
+    metric(
+        "repro_verdicts_total", "counter",
+        "MAFIC table verdicts by (ground truth, verdict).",
+    )
+    for key, count in sorted(snap["verdict_confusion"].items()):
+        truth, _, verdict = key.partition(":")
+        lines.append(_sample(
+            "repro_verdicts_total", count, {"truth": truth, "verdict": verdict}
+        ))
+
+    metric(
+        "repro_verdicts_per_second", "gauge", "Windowed verdict churn."
+    )
+    lines.append(_sample(
+        "repro_verdicts_per_second", snap["verdicts_per_second"]
+    ))
+
+    metric(
+        "repro_link_drops_total", "counter",
+        "Link-level drops by (link, reason).",
+    )
+    for key, count in sorted(snap["link_drops"].items()):
+        link, _, reason = key.rpartition(":")
+        lines.append(_sample(
+            "repro_link_drops_total", count, {"link": link, "reason": reason}
+        ))
+
+    metric(
+        "repro_engine_events_executed_total", "counter",
+        "Simulator events executed.",
+    )
+    lines.append(_sample(
+        "repro_engine_events_executed_total", snap["events_executed"]
+    ))
+
+    metric(
+        "repro_engine_pending_events", "gauge",
+        "Live (non-cancelled) events queued in the scheduler.",
+    )
+    lines.append(_sample("repro_engine_pending_events", snap["pending_events"]))
+
+    metric("repro_monitor_epochs_total", "counter", "TrafficMonitor epochs.")
+    lines.append(_sample("repro_monitor_epochs_total", snap["epochs"]))
+
+    metric(
+        "repro_defense_activated", "gauge",
+        "1 once pushback has activated, else 0.",
+    )
+    lines.append(_sample(
+        "repro_defense_activated",
+        0 if snap["activation_time"] is None else 1,
+    ))
+
+    metric("repro_runs_completed_total", "counter", "Runs finished serving.")
+    lines.append(_sample("repro_runs_completed_total", snap["runs_completed"]))
+
+    return "\n".join(lines) + "\n"

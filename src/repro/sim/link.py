@@ -72,6 +72,10 @@ class SimplexLink:
         self.packets_offered = 0
         self.hook_drops = 0
         self.failure_drops = 0
+        # Observability bus (None = off).  Checked with `is not None`
+        # rather than truthiness: drops sit on the hot path and the
+        # plain identity test is the cheapest possible guard.
+        self.bus = None
 
     @property
     def queue(self) -> PacketQueue:
@@ -126,15 +130,18 @@ class SimplexLink:
         if not self._up:
             self.failure_drops += 1
             packet.release()
+            self._drop_event("down")
             return False
         now = self.sim.now
         for hook in self._head_hooks:
             if not hook.on_packet(packet, self, now):
                 self.hook_drops += 1
                 packet.release()
+                self._drop_event("hook")
                 return False
         if not self._q_enqueue(packet, now):
             packet.release()
+            self._drop_event("queue")
             return False
         if not self._drain_pending:
             if self._busy_until <= now:
@@ -170,6 +177,26 @@ class SimplexLink:
     def _deliver(self, packet: Packet) -> None:
         packet.hop_count += 1
         self.dst.receive(packet, self)
+
+    def _drop_event(self, reason: str) -> None:
+        """Publish one ``link.drop`` event (bus attached and listening)."""
+        bus = self.bus
+        if bus is not None and bus:
+            from repro.obs.events import LinkDrop
+
+            bus.emit(LinkDrop(self.sim.now, self.name, reason))
+
+    def stats(self) -> dict:
+        """Counter snapshot for the observability layer (plain dict)."""
+        return {
+            "link": self.name,
+            "packets_offered": self.packets_offered,
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "hook_drops": self.hook_drops,
+            "failure_drops": self.failure_drops,
+            "queue_len": self._q_len(),
+        }
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of capacity used over ``elapsed`` seconds."""

@@ -52,6 +52,12 @@ class TrafficMonitor:
     reset_each_epoch:
         When True (default, matching the paper's per-period matrices) the
         sketches are cleared after each snapshot.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`: each epoch publishes
+        a ``monitor.snapshot`` event plus an ``engine.stats`` event
+        (scheduler occupancy piggybacked on the epoch, so observability
+        adds **no** simulation events of its own — the event stream,
+        and thus the golden master, is unchanged).
     """
 
     def __init__(
@@ -61,7 +67,10 @@ class TrafficMonitor:
         period: float = 0.25,
         on_snapshot: Callable[[MatrixSnapshot], None] | None = None,
         reset_each_epoch: bool = True,
+        bus=None,
     ) -> None:
+        from repro.obs.bus import NULL_BUS
+
         if period <= 0:
             raise ValueError("period must be positive")
         self.sim = sim
@@ -69,6 +78,7 @@ class TrafficMonitor:
         self.period = float(period)
         self.on_snapshot = on_snapshot
         self.reset_each_epoch = reset_each_epoch
+        self.bus = bus if bus is not None else NULL_BUS
         self.snapshots: list[MatrixSnapshot] = []
         self._started = False
 
@@ -99,7 +109,30 @@ class TrafficMonitor:
             egress_totals=self.estimator.egress_totals(),
         )
         self.snapshots.append(snapshot)
+        if self.bus:
+            self._publish(snapshot)
         return snapshot
+
+    def _publish(self, snapshot: MatrixSnapshot) -> None:
+        """Emit the epoch's snapshot + scheduler stats onto the bus."""
+        from repro.obs.events import EngineStats, MonitorSnapshot
+
+        self.bus.emit(MonitorSnapshot(
+            time=snapshot.time,
+            epoch=len(self.snapshots),
+            n_sources=len(snapshot.sources),
+            n_destinations=len(snapshot.destinations),
+            ingress_total=float(sum(snapshot.ingress_totals.values())),
+            egress_total=float(sum(snapshot.egress_totals.values())),
+        ))
+        stats = self.sim.queue_stats()
+        self.bus.emit(EngineStats(
+            time=snapshot.time,
+            backend=stats["backend"],
+            events_executed=self.sim.events_executed,
+            pending=stats["live"],
+            peak_occupancy=stats["peak_occupancy"],
+        ))
 
     @property
     def latest(self) -> MatrixSnapshot | None:

@@ -157,3 +157,79 @@ class TestStatus:
         assert status.complete == 0
         assert len(status.missing) == 4
         assert not status.is_complete
+
+
+class TestObservability:
+    def test_bus_receives_run_and_progress_events(self, tmp_path, spec):
+        from repro.obs import BufferedSink, EventBus
+
+        bus = EventBus()
+        sink = bus.subscribe(BufferedSink())
+        report = run_campaign(
+            spec, root=tmp_path, jobs=1, wave_size=2, bus=bus
+        )
+        assert report.executed == 4
+
+        runs = sink.of_kind("campaign.run")
+        assert len(runs) == 4
+        assert {e.run_id for e in runs} == {r.run_id for r in spec.plan()}
+        assert all(e.wall_seconds > 0 for e in runs)
+        assert {e.point["attack_fraction"] for e in runs} == {0.25, 0.5}
+
+        progress = sink.of_kind("campaign.progress")
+        assert [(e.done, e.total) for e in progress] == [(2, 4), (4, 4)]
+        assert all(e.name == spec.name for e in progress)
+
+    def test_cached_cells_emit_nothing(self, tmp_path, spec):
+        from repro.obs import BufferedSink, EventBus
+
+        run_campaign(spec, root=tmp_path, jobs=1)
+        bus = EventBus()
+        sink = bus.subscribe(BufferedSink())
+        report = run_campaign(spec, root=tmp_path, jobs=1, bus=bus)
+        assert report.executed == 0
+        assert sink.of_kind("campaign.run") == []
+
+    def test_interrupt_mid_grid_keeps_filed_waves(self, tmp_path, spec,
+                                                  monkeypatch):
+        """Ctrl-C between waves: no exception escapes, the report says
+        interrupted, and the filed artifacts resume cleanly."""
+        import repro.campaign.orchestrator as orchestrator
+
+        calls = {"n": 0}
+        real_run_batch = orchestrator.run_batch
+
+        def interrupting_run_batch(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real_run_batch(*args, **kwargs)
+
+        monkeypatch.setattr(
+            orchestrator, "run_batch", interrupting_run_batch
+        )
+        report = run_campaign(spec, root=tmp_path, jobs=1, wave_size=2)
+        assert report.interrupted
+        assert report.executed == 2
+        assert not report.complete
+
+        monkeypatch.setattr(orchestrator, "run_batch", real_run_batch)
+        resumed = run_campaign(spec, root=tmp_path, jobs=1)
+        assert not resumed.interrupted
+        assert resumed.complete
+        assert resumed.executed == 2
+
+    def test_profile_path_profiles_exactly_one_cell(self, tmp_path, spec):
+        out = tmp_path / "cell.prof"
+        report = run_campaign(
+            spec, root=tmp_path / "store",
+            profile_path=str(out),
+        )
+        assert report.executed == 1
+        assert report.jobs == 1
+        assert out.exists() and out.stat().st_size > 0
+        # The profiled artifact is a normal artifact: resume skips it.
+        resumed = run_campaign(spec, root=tmp_path / "store", jobs=1)
+        assert resumed.cached == 1
+        assert resumed.executed == 3
+        assert resumed.complete

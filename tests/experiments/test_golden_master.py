@@ -33,16 +33,26 @@ def _hexed_summary(result) -> dict:
     }
 
 
+@pytest.mark.parametrize("collector", ["buffered", "streaming"])
 @pytest.mark.parametrize("queue", ["heap", "calendar"])
 @pytest.mark.parametrize("seed", [1, 2])
-def test_paper_default_matches_recorded_summary(seed, queue):
+def test_paper_default_matches_recorded_summary(seed, queue, collector):
     """Both scheduler backends must reproduce the pinned fixture
-    bit-exactly — the calendar queue's flip-in is gated on this proof."""
+    bit-exactly — the calendar queue's flip-in is gated on this proof.
+
+    The ``collector`` axis pins the observability refactor the same
+    way: the streaming victim collector (bounded memory, windowed
+    series aggregation) must match the fixture recorded from the
+    buffered one, with **no re-record** — same floats, same order.
+    """
     from repro.perf import engine_mode
 
     golden = json.loads(FIXTURE.read_text())[str(seed)]
     with engine_mode(queue=queue):
-        result = run_experiment(paper_default().with_overrides(seed=seed))
+        result = run_experiment(
+            paper_default().with_overrides(seed=seed),
+            streaming_series=(collector == "streaming"),
+        )
     assert _hexed_summary(result) == golden["summary"]
     assert result.events_executed == golden["events_executed"]
     assert sorted(result.identified_atrs) == golden["identified_atrs"]
@@ -52,6 +62,24 @@ def test_paper_default_matches_recorded_summary(seed, queue):
         assert result.activation_time is None
     else:
         assert result.activation_time.hex() == recorded
+
+
+def test_observed_run_matches_recorded_summary():
+    """A subscribed event bus must not perturb the physics: the same
+    fixture, bit-exact, with every producer actually emitting."""
+    from repro.obs import BufferedSink, EventBus
+
+    golden = json.loads(FIXTURE.read_text())["1"]
+    bus = EventBus()
+    sink = bus.subscribe(BufferedSink())
+    result = run_experiment(
+        paper_default().with_overrides(seed=1), bus=bus
+    )
+    assert _hexed_summary(result) == golden["summary"]
+    assert result.events_executed == golden["events_executed"]
+    assert len(sink.of_kind("victim.arrival")) > 0
+    assert len(sink.of_kind("defense.verdict")) > 0
+    assert len(sink.of_kind("run.completed")) == 1
 
 
 def test_legacy_engine_mode_matches_recorded_summary():

@@ -1,0 +1,177 @@
+"""Streaming aggregation: bit-exact series, bounded windows, exposition."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.timeseries import BandwidthSeries, StreamingBandwidthSeries
+from repro.obs import (
+    DefenseActivation,
+    DefenseDecision,
+    EngineStats,
+    LinkDrop,
+    LiveMetrics,
+    MonitorSnapshot,
+    Verdict,
+    VictimArrival,
+)
+from repro.obs.exposition import render_prometheus
+
+
+class TestStreamingBandwidthSeries:
+    """The streaming builder's contract: **bit-exact** vs from_arrivals."""
+
+    def _random_arrivals(self, seed, n, end):
+        rng = random.Random(seed)
+        return [
+            (rng.uniform(-0.1, end + 0.1), rng.randint(40, 1500),
+             rng.random() < 0.3)
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_from_arrivals_bit_exactly(self, seed):
+        end, width = 5.0, 0.05
+        arrivals = self._random_arrivals(seed, 2000, end)
+        streaming = StreamingBandwidthSeries(
+            start=0.0, end=end, bin_width=width
+        )
+        for t, size, is_attack in arrivals:
+            if 0.0 <= t <= end:
+                streaming.observe(t, size, is_attack)
+        batch = BandwidthSeries.from_arrivals(
+            [(t, s, a) for t, s, a in arrivals if 0.0 <= t <= end],
+            start=0.0, end=end, bin_width=width,
+        )
+        got = streaming.finish()
+        assert [x.hex() for x in got.total_kbps] == [
+            x.hex() for x in batch.total_kbps
+        ]
+        assert [x.hex() for x in got.attack_kbps] == [
+            x.hex() for x in batch.attack_kbps
+        ]
+        assert [x.hex() for x in got.times] == [x.hex() for x in batch.times]
+
+    def test_interval_edges_match_from_arrivals(self):
+        """Same half-open [start, end): t == end is excluded by both
+        paths, t just inside clamps into the final bin."""
+        edge_cases = [(0.0, 1000, False), (0.999999, 600, True),
+                      (1.0, 400, False), (-0.01, 300, False)]
+        streaming = StreamingBandwidthSeries(start=0.0, end=1.0, bin_width=0.1)
+        for t, size, is_attack in edge_cases:
+            streaming.observe(t, size, is_attack)
+        batch = BandwidthSeries.from_arrivals(
+            edge_cases, start=0.0, end=1.0, bin_width=0.1
+        )
+        got = streaming.finish()
+        assert got.total_kbps == batch.total_kbps
+        assert got.attack_kbps == batch.attack_kbps
+        assert streaming.observed == 2  # t == end and t < start ignored
+
+    def test_memory_is_bins_not_arrivals(self):
+        streaming = StreamingBandwidthSeries(start=0.0, end=1.0, bin_width=0.1)
+        for i in range(10_000):
+            streaming.observe((i % 100) / 100.0, 500, False)
+        # The aggregator holds only its bin arrays — no per-arrival state.
+        assert len(streaming._total) == streaming.n_bins == 10
+
+
+def _feed_scenario(live: LiveMetrics) -> None:
+    live.emit(VictimArrival(time=0.1, size=1000, is_attack=False))
+    live.emit(VictimArrival(time=0.4, size=500, is_attack=True))
+    live.emit(DefenseDecision(time=0.5, action="drop", reason="pdt",
+                              truth="attack"))
+    live.emit(DefenseDecision(time=0.5, action="pass", reason="",
+                              truth="wellbehaved"))
+    live.emit(Verdict(time=0.6, label=3, verdict="cut", truth="attack"))
+    live.emit(DefenseActivation(time=0.6))
+    live.emit(MonitorSnapshot(time=0.75, epoch=3, n_sources=4,
+                              n_destinations=1, ingress_total=10.0,
+                              egress_total=9.0))
+    live.emit(EngineStats(time=0.75, backend="heap", events_executed=1234,
+                          pending=56, peak_occupancy=80))
+    live.emit(LinkDrop(time=0.8, link="uplink:r1", reason="hook"))
+
+
+class TestLiveMetrics:
+    def test_totals_and_confusion(self):
+        live = LiveMetrics(window=1.0)
+        _feed_scenario(live)
+        snap = live.snapshot()
+        assert snap["arrivals_total"] == 2
+        assert snap["attack_arrivals_total"] == 1
+        assert snap["arrival_bytes_total"] == 1500
+        assert snap["examined_total"] == 2
+        assert snap["dropped_total"] == 1
+        assert snap["drop_ratio"] == 0.5
+        assert snap["drops_by_reason"] == {"pdt": 1}
+        assert snap["verdict_confusion"] == {"attack:cut": 1}
+        assert snap["activation_time"] == 0.6
+        assert snap["epochs"] == 3
+        assert snap["events_executed"] == 1234
+        assert snap["queue_backend"] == "heap"
+        assert snap["link_drops"] == {"uplink:r1:hook": 1}
+
+    def test_window_prunes_as_time_advances(self):
+        live = LiveMetrics(window=1.0)
+        live.emit(VictimArrival(time=0.0, size=1000, is_attack=False))
+        assert live.snapshot()["arrival_kbps"] == 1000 * 8.0 / 1e3 / 1.0
+        # An event two sim-seconds later evicts the first from the window
+        # but not from the totals.
+        live.emit(VictimArrival(time=2.0, size=500, is_attack=True))
+        snap = live.snapshot()
+        assert snap["arrivals_total"] == 2
+        assert snap["arrival_kbps"] == 500 * 8.0 / 1e3 / 1.0
+        assert snap["attack_kbps"] == snap["arrival_kbps"]
+        assert snap["legit_kbps"] == 0.0
+
+    def test_windowed_rates_use_window_not_elapsed(self):
+        """Early-run rates ramp from zero (Prometheus rate() style)."""
+        live = LiveMetrics(window=2.0)
+        live.emit(Verdict(time=0.1, label=1, verdict="nice", truth="legit"))
+        assert live.snapshot()["verdicts_per_second"] == 0.5
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LiveMetrics(window=0.0)
+
+    def test_snapshot_of_fresh_instance_is_all_zero(self):
+        snap = LiveMetrics().snapshot()
+        assert snap["arrivals_total"] == 0
+        assert snap["drop_ratio"] == 0.0
+        assert snap["activation_time"] is None
+        assert not math.isnan(snap["arrival_kbps"])
+
+
+class TestPrometheusExposition:
+    def test_format_is_pinned(self):
+        """Scrapers depend on these exact families; renaming one is a
+        breaking change and must show up here."""
+        live = LiveMetrics(window=1.0)
+        _feed_scenario(live)
+        text = render_prometheus(live)
+        assert text.endswith("\n")
+        for needle in (
+            "# TYPE repro_sim_time_seconds gauge",
+            'repro_victim_arrivals_total{truth="attack"} 1',
+            'repro_victim_arrivals_total{truth="legit"} 1',
+            "repro_victim_arrival_bytes_total 1500",
+            "repro_defense_examined_total 2",
+            'repro_defense_drops_total{reason="pdt"} 1',
+            "repro_defense_drop_ratio 0.5",
+            'repro_verdicts_total{truth="attack",verdict="cut"} 1',
+            'repro_link_drops_total{link="uplink:r1",reason="hook"} 1',
+            "repro_engine_events_executed_total 1234",
+            "repro_engine_pending_events 56",
+            "repro_monitor_epochs_total 3",
+            "repro_defense_activated 1",
+            "repro_runs_completed_total 0",
+        ):
+            assert needle in text, needle
+
+    def test_label_values_are_escaped(self):
+        live = LiveMetrics()
+        live.emit(LinkDrop(time=0.0, link='odd"name\\x', reason="hook"))
+        text = render_prometheus(live)
+        assert 'link="odd\\"name\\\\x"' in text

@@ -1,0 +1,139 @@
+"""The sink protocol and fan-out bus: ordering, filtering, zero-cost."""
+
+import pytest
+
+from repro.obs import (
+    NULL_BUS,
+    NULL_SINK,
+    BufferedSink,
+    CallbackSink,
+    EventBus,
+    MetricSink,
+    NullSink,
+    VictimArrival,
+)
+
+
+def _arrival(t: float = 0.0) -> VictimArrival:
+    return VictimArrival(time=t, size=1000, is_attack=False)
+
+
+class TestNullSink:
+    def test_falsy_so_producers_skip_event_construction(self):
+        assert not NullSink()
+        assert not NULL_SINK
+        assert not NULL_BUS
+
+    def test_satisfies_the_sink_protocol(self):
+        assert isinstance(NULL_SINK, MetricSink)
+
+    def test_emit_and_close_are_inert(self):
+        sink = NullSink()
+        sink.emit(_arrival())
+        sink.close()
+
+
+class TestEventBus:
+    def test_falsy_until_first_subscriber(self):
+        bus = EventBus()
+        assert not bus
+        sink = bus.subscribe(BufferedSink())
+        assert bus
+        bus.unsubscribe(sink)
+        assert not bus
+
+    def test_fan_out_preserves_attachment_order(self):
+        """Sinks see each event strictly in the order they subscribed —
+        the determinism contract serve's SSE broker relies on."""
+        calls = []
+        bus = EventBus()
+        bus.subscribe(CallbackSink(lambda e: calls.append(("first", e.time))))
+        bus.subscribe(CallbackSink(lambda e: calls.append(("second", e.time))))
+        bus.emit(_arrival(1.0))
+        bus.emit(_arrival(2.0))
+        assert calls == [
+            ("first", 1.0), ("second", 1.0),
+            ("first", 2.0), ("second", 2.0),
+        ]
+
+    def test_kinds_filter_restricts_delivery(self):
+        bus = EventBus()
+        everything = bus.subscribe(BufferedSink())
+        arrivals_only = bus.subscribe(
+            BufferedSink(), kinds=("victim.arrival",)
+        )
+        bus.emit(_arrival())
+        from repro.obs import Verdict
+
+        bus.emit(Verdict(time=1.0, label=3, verdict="cut", truth="attack"))
+        assert [e.kind for e in everything.events] == [
+            "victim.arrival", "defense.verdict",
+        ]
+        assert [e.kind for e in arrivals_only.events] == ["victim.arrival"]
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe(BufferedSink(), kinds=())
+
+    def test_unsubscribe_missing_sink_is_noop(self):
+        EventBus().unsubscribe(BufferedSink())
+
+    def test_close_reaches_each_sink_once(self):
+        closes = []
+
+        class Closing(BufferedSink):
+            def __init__(self, name):
+                super().__init__()
+                self.name = name
+
+            def close(self):
+                closes.append(self.name)
+
+        bus = EventBus()
+        a = bus.subscribe(Closing("a"))
+        bus.subscribe(Closing("b"))
+        bus.subscribe(a, kinds=("victim.arrival",))  # second subscription
+        bus.close()
+        assert closes == ["a", "b"]
+
+
+class TestBufferedSink:
+    def test_unbounded_by_default(self):
+        sink = BufferedSink()
+        for i in range(100):
+            sink.emit(_arrival(float(i)))
+        assert len(sink) == 100
+        assert sink.dropped == 0
+
+    def test_bound_discards_oldest_and_counts(self):
+        sink = BufferedSink(max_events=3)
+        for i in range(5):
+            sink.emit(_arrival(float(i)))
+        assert [e.time for e in sink.events] == [2.0, 3.0, 4.0]
+        assert sink.dropped == 2
+
+    def test_of_kind_preserves_emission_order(self):
+        sink = BufferedSink()
+        sink.emit(_arrival(1.0))
+        sink.emit(_arrival(2.0))
+        assert [e.time for e in sink.of_kind("victim.arrival")] == [1.0, 2.0]
+        assert sink.of_kind("defense.verdict") == []
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferedSink(max_events=0)
+
+
+class TestEventPayloads:
+    def test_to_dict_carries_kind_and_every_field(self):
+        event = VictimArrival(time=0.5, size=1500, is_attack=True)
+        assert event.to_dict() == {
+            "kind": "victim.arrival",
+            "time": 0.5,
+            "size": 1500,
+            "is_attack": True,
+        }
+
+    def test_callback_sink_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            CallbackSink("not a function")

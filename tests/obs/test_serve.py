@@ -1,0 +1,187 @@
+"""The serve layer: HTTP endpoints, SSE fan-out, clean shutdown."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs import EventBus, LiveMetrics, Verdict, VictimArrival
+from repro.obs.serve import (
+    STREAMED_KINDS,
+    SSEBroker,
+    _Server,
+)
+
+
+@pytest.fixture()
+def server():
+    live = LiveMetrics(window=1.0)
+    broker = SSEBroker()
+    srv = _Server(("127.0.0.1", 0), live, broker)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    broker.close()
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _get(srv, path: str):
+    port = srv.server_address[1]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = _get(server, "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_dashboard_is_self_contained_html(self, server):
+        status, headers, body = _get(server, "/")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        text = body.decode()
+        assert "repro serve" in text
+        assert "EventSource" in text
+        # No external assets: the page must work with no network.
+        assert "http://" not in text and "https://" not in text
+
+    def test_metrics_reflects_the_live_sink(self, server):
+        server.live.emit(VictimArrival(time=0.2, size=1000, is_attack=True))
+        status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert "version=0.0.4" in headers["Content-Type"]
+        text = body.decode()
+        assert 'repro_victim_arrivals_total{truth="attack"} 1' in text
+
+    def test_state_reports_phase_and_snapshot(self, server):
+        server.status.update(mode="run", phase="running")
+        status, _, body = _get(server, "/state")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["mode"] == "run"
+        assert payload["phase"] == "running"
+        assert payload["live"]["arrivals_total"] == 0
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+
+
+class TestSSEBroker:
+    def test_serializes_once_and_fans_out(self):
+        broker = SSEBroker()
+        a, b = broker.register(), broker.register()
+        broker.emit(Verdict(time=1.0, label=2, verdict="cut", truth="attack"))
+        line_a, line_b = a.get(timeout=1), b.get(timeout=1)
+        assert line_a == line_b
+        assert json.loads(line_a)["kind"] == "defense.verdict"
+
+    def test_slow_client_drops_instead_of_blocking(self):
+        from repro.obs.serve import CLIENT_QUEUE_SIZE
+
+        broker = SSEBroker()
+        q = broker.register()
+        for i in range(CLIENT_QUEUE_SIZE + 50):
+            broker.publish({"i": i})
+        assert q.qsize() == CLIENT_QUEUE_SIZE  # newest 50 dropped
+
+    def test_close_poisons_current_and_future_clients(self):
+        broker = SSEBroker()
+        before = broker.register()
+        broker.close()
+        after = broker.register()
+        assert before.get(timeout=1) is None
+        assert after.get(timeout=1) is None
+
+    def test_streamed_kinds_exclude_per_packet_noise(self):
+        assert "victim.arrival" not in STREAMED_KINDS
+        assert "defense.decision" not in STREAMED_KINDS
+        assert "defense.verdict" in STREAMED_KINDS
+
+    def test_sse_stream_over_http(self, server):
+        """A real client on /events sees bus events as SSE frames."""
+        bus = EventBus()
+        bus.subscribe(server.broker, kinds=STREAMED_KINDS)
+        port = server.server_address[1]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+        try:
+            conn.request("GET", "/events")
+            response = conn.getresponse()
+            assert response.headers["Content-Type"] == "text/event-stream"
+            # Let the handler register its queue before emitting.
+            deadline = time.monotonic() + 2
+            while not server.broker._clients and time.monotonic() < deadline:
+                time.sleep(0.01)
+            bus.emit(Verdict(time=0.5, label=1, verdict="nice",
+                             truth="legit"))
+            line = response.fp.readline().decode()
+            assert line.startswith("data: ")
+            payload = json.loads(line[len("data: "):])
+            assert payload["kind"] == "defense.verdict"
+            assert payload["verdict"] == "nice"
+        finally:
+            conn.close()
+
+
+@pytest.mark.slow
+class TestServeEndToEnd:
+    """The CLI process itself: run, serve, SIGINT, exit 0."""
+
+    def test_serve_run_linger_and_clean_interrupt(self, tmp_path):
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--flows", "10", "--routers", "8", "--duration", "2",
+             "--seed", "3", "--port", "0", "--linger"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=tmp_path,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving on http://" in banner
+            port = int(banner.split("http://", 1)[1].split("/")[0]
+                       .rsplit(":", 1)[1])
+            deadline = time.monotonic() + 30
+            phase = None
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/state", timeout=5
+                ) as response:
+                    state = json.loads(response.read())
+                phase = state["phase"]
+                if phase == "lingering":
+                    break
+                time.sleep(0.1)
+            assert phase == "lingering"
+            assert state["live"]["runs_completed"] == 1
+            assert state["live"]["verdicts_total"]  # saw real verdicts
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                assert b"repro_runs_completed_total 1" in response.read()
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "Traceback" not in out
+        assert "shutting down" in out
