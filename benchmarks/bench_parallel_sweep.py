@@ -6,6 +6,18 @@ worker per CPU — asserts the per-seed summaries are bit-identical, and
 writes ``BENCH_parallel_sweep.json`` at the repo root with both wall
 times, the speedup, and the host's core count.
 
+``degraded`` in the artifact means the measurement could not demonstrate
+a parallel speedup: either the host has one core (expected there, and
+the artifact says so), or — the bug case — a multi-core host ran the
+batch with no meaningful speedup, which means the worker pool never
+actually engaged.
+
+``--check`` is the CI mode: a small batch, and a loud failure (exit 1)
+when ``degraded`` would be recorded **on a multi-core host** — the
+silent-degradation case that previously only left a flag in a JSON file
+nobody gates on.  On a single-core host ``--check`` still verifies
+serial/parallel bit-equality and passes with a note.
+
 Run:  PYTHONPATH=src python benchmarks/bench_parallel_sweep.py [--seeds N] [--jobs N]
 """
 
@@ -20,28 +32,23 @@ from pathlib import Path
 from repro.experiments.config import ExperimentConfig, TopologyKind
 from repro.experiments.parallel import default_jobs, run_batch, seed_configs
 
+#: Below this speedup a multi-core parallel run is indistinguishable
+#: from serial — the pool is not pulling its weight.  Deliberately lax
+#: (2 workers should approach 2x): this gates "the pool never engaged",
+#: not scheduler efficiency.
+MIN_MULTI_CORE_SPEEDUP = 1.2
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seeds", type=int, default=8)
-    parser.add_argument("--jobs", type=int, default=None)
-    parser.add_argument(
-        "--out",
-        type=str,
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel_sweep.json"),
-    )
-    args = parser.parse_args()
 
-    jobs = args.jobs if args.jobs is not None else default_jobs()
+def _measure(seeds: int, jobs: int):
     config = ExperimentConfig(
         total_flows=24, n_routers=12, topology=TopologyKind.TRANSIT_STUB
     )
-    configs = seed_configs(config, range(101, 101 + args.seeds))
+    configs = seed_configs(config, range(101, 101 + seeds))
 
-    print(f"serial: {args.seeds} seeds on 1 worker...")
+    print(f"serial: {seeds} seeds on 1 worker...")
     serial = run_batch(configs, jobs=1)
     print(f"  {serial.wall_seconds:.2f}s wall")
-    print(f"parallel: {args.seeds} seeds on {jobs} worker(s)...")
+    print(f"parallel: {seeds} seeds on {jobs} worker(s)...")
     parallel = run_batch(configs, jobs=jobs)
     print(f"  {parallel.wall_seconds:.2f}s wall")
 
@@ -50,15 +57,57 @@ def main() -> int:
     ]
     if not identical:
         raise SystemExit("FATAL: parallel summaries diverged from serial")
-
     speedup = serial.wall_seconds / max(1e-9, parallel.wall_seconds)
-    # A single-core host cannot demonstrate parallel speedup; a ~1x
-    # figure recorded there would read as a regression when it is only a
-    # degraded measurement environment.  Say so, loudly, in both places.
-    degraded = (os.cpu_count() or 1) == 1
+    return serial, parallel, speedup
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: small batch, fail loudly if the "
+                        "measurement is degraded on a multi-core host; "
+                        "no artifact written")
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel_sweep.json"),
+    )
+    args = parser.parse_args()
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    seeds = 4 if args.check else args.seeds
+    serial, parallel, speedup = _measure(seeds, jobs)
+
+    multi_core = (os.cpu_count() or 1) > 1
+    # Degraded = the artifact's speedup number is not meaningful.  On a
+    # one-core host that is the expected physics; on a multi-core host a
+    # ~1x speedup means the pool silently failed to engage.
+    degraded = (not multi_core) or (jobs > 1 and speedup < MIN_MULTI_CORE_SPEEDUP)
+
+    if args.check:
+        if degraded and multi_core:
+            print(
+                f"FATAL: degraded parallel measurement on a multi-core "
+                f"host ({os.cpu_count()} CPUs, {jobs} jobs, "
+                f"{speedup:.2f}x speedup < {MIN_MULTI_CORE_SPEEDUP}x) — "
+                "the worker pool is not engaging"
+            )
+            return 1
+        if degraded:
+            print(
+                f"check OK (single-core host: bit-equality verified, "
+                f"speedup {speedup:.2f}x not meaningful here)"
+            )
+        else:
+            print(f"check OK ({speedup:.2f}x on {jobs} workers, "
+                  "summaries bit-identical)")
+        return 0
+
     record = {
         "benchmark": "parallel_multi_seed_sweep",
-        "seeds": args.seeds,
+        "seeds": seeds,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
         "degraded": degraded,
@@ -67,14 +116,14 @@ def main() -> int:
         "serial_wall_seconds": round(serial.wall_seconds, 3),
         "parallel_wall_seconds": round(parallel.wall_seconds, 3),
         "speedup": round(speedup, 3),
-        "per_seed_summaries_identical": identical,
+        "per_seed_summaries_identical": True,
         "metric_means_percent": {
             name: round(100 * stats.mean, 3)
             for name, stats in parallel.stats.items()
         },
     }
     Path(args.out).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-    if degraded:
+    if degraded and not multi_core:
         print(
             "\n" + "!" * 70 + "\n"
             "!! WARNING: cpu_count == 1 — this host cannot show a parallel\n"
@@ -82,7 +131,15 @@ def main() -> int:
             "!! a multi-core machine before reading the speedup as meaningful.\n"
             + "!" * 70
         )
-    print(f"\nspeedup: {speedup:.2f}x  (summaries identical: {identical})")
+    elif degraded:
+        print(
+            "\n" + "!" * 70 + "\n"
+            f"!! WARNING: only {speedup:.2f}x on {os.cpu_count()} CPUs — the\n"
+            "!! worker pool did not engage; the artifact is tagged degraded.\n"
+            "!! Run --check to gate on this in CI.\n"
+            + "!" * 70
+        )
+    print(f"\nspeedup: {speedup:.2f}x  (summaries identical: True)")
     print(f"wrote {args.out}")
     return 0
 

@@ -1,6 +1,22 @@
 """Legacy setup shim: lets `pip install -e .` work without the wheel
-package (offline environments with older setuptools)."""
+package (offline environments with older setuptools).
 
-from setuptools import setup
+Also wires up the optional compiled engine core.  The extension is
+marked optional so environments without a C toolchain still install
+cleanly — the engine falls back to pure Python (see repro/sim/_core.py).
+Build in place with:
 
-setup()
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._corec",
+            sources=["src/repro/sim/_corec.c"],
+            optional=True,
+        )
+    ]
+)

@@ -105,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the named presets and exit",
     )
     run_p.add_argument(
+        "--engine-info", action="store_true",
+        help="print which engine core is active (compiled C extension "
+        "or pure Python) and exit",
+    )
+    run_p.add_argument(
         "--list", dest="list_components", default=None,
         choices=sorted(COMPONENT_REGISTRIES) + ["all"],
         help="print one registry (or all of them) and exit",
@@ -222,7 +227,22 @@ def _run_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _print_engine_info() -> int:
+    from repro.sim._core import core_info
+
+    info = core_info()
+    print(f"engine core: {info['impl']} ({info['module']})")
+    if info["forced_pure"]:
+        print("REPRO_NO_COMPILED is set: the pure-Python engine is forced")
+    elif info["impl"] == "pure":
+        print("compiled extension not built; build it with "
+              "`python setup.py build_ext --inplace`")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.engine_info:
+        return _print_engine_info()
     if args.list_presets:
         return _print_presets()
     if args.list_components:

@@ -178,6 +178,12 @@ class ExperimentConfig:
     seed: int = 1
     trace_enabled: bool = True
     trace_max_records: int | None = 200_000
+    # Use the bounded-memory streaming victim collector instead of the
+    # buffered one (float-identical summary/series, O(bins) memory).
+    # Presets whose populations would hoard millions of arrival tuples —
+    # huge-topology — turn this on by default; run_experiment's own
+    # ``streaming_series`` argument also forces it on for one call.
+    streaming_series: bool = False
 
     def __post_init__(self) -> None:
         self.topology = _component_name(TOPOLOGIES, self.topology, TopologyKind)

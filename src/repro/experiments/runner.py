@@ -89,6 +89,11 @@ def run_experiment(
 
     reduction_window = config.mafic.probe_window(None)
     victim_collector = None
+    # The config can request streaming collection too (huge-topology
+    # presets default to it); either switch turns it on.
+    streaming_series = streaming_series or getattr(
+        config, "streaming_series", False
+    )
     if streaming_series:
         from repro.metrics.collectors import StreamingVictimCollector
 

@@ -28,9 +28,13 @@ class PerfFlags:
     """Which engine formulation runs."""
 
     #: Default Simulator queue backend: "heap" or "calendar".  Both are
-    #: proven bit-exact; the heap stays default because C-compiled
-    #: heapq sifts beat the pure-Python wheel's constant factor at every
-    #: pending-set size the paper's scenarios reach (see BENCH_engine).
+    #: proven bit-exact, and the compiled core (repro.sim._corec)
+    #: implements both in C — a level playing field the calendar wheel
+    #: still loses on: measured on the Table-II scenario the compiled
+    #: heap beats the compiled wheel (the wheel pays anchor/migrate/
+    #: resize bookkeeping that a ~100-1000-event pending set never
+    #: amortizes), so the heap stays default by measurement, not by
+    #: implementation-language accident (see BENCH_engine.json).
     queue: str = "heap"
     #: Recycle Packet objects through the free-list pool during runs.
     packet_pool: bool = True
@@ -42,11 +46,21 @@ class PerfFlags:
     #: Toggleable so ``legacy_mode`` can measure the pre-overhaul
     #: formulation in the same process.
     hot_path_caches: bool = True
+    #: TCP senders postpone their pending RTO event in place per ACK
+    #: (``Simulator.postpone``) instead of a cancel+reschedule round
+    #: trip through the queue.  Bit-exact: one seq draw either way.
+    lazy_timers: bool = True
+    #: Fire-and-forget link events (drain wake-ups, deliveries) ride
+    #: recycled handles from the simulator's Event free list.
+    event_pool: bool = True
 
 
 FLAGS = PerfFlags()
 
-_FIELDS = ("queue", "packet_pool", "batched_sources", "hot_path_caches")
+_FIELDS = (
+    "queue", "packet_pool", "batched_sources", "hot_path_caches",
+    "lazy_timers", "event_pool",
+)
 
 
 @contextmanager
@@ -74,5 +88,5 @@ def legacy_mode():
     against it are conservative."""
     return engine_mode(
         queue="heap", packet_pool=False, batched_sources=False,
-        hot_path_caches=False,
+        hot_path_caches=False, lazy_timers=False, event_pool=False,
     )

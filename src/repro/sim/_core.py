@@ -1,0 +1,46 @@
+"""Select the compiled engine core, falling back to pure Python.
+
+The compiled core (``repro.sim._corec``, a C extension built by
+``python setup.py build_ext --inplace``) is a bit-exact twin of the
+pure-Python engine in :mod:`repro.sim.engine`: same event order, same
+seq draws, same counters, same exception messages.  The golden-master
+suite and the scheduler fuzz test pin the equivalence, so which core
+runs is purely a speed decision.
+
+Selection rules:
+
+* ``REPRO_NO_COMPILED`` set (to anything non-empty) forces the pure
+  engine — the escape hatch for debugging and for measuring the
+  pure-Python baseline in benchmarks.
+* Otherwise the extension is imported if present; *any* failure (not
+  built, ABI mismatch, missing compiler) falls back silently.  Importing
+  repro must never require a C toolchain.
+
+``ENGINE_IMPL`` is ``"compiled"`` or ``"pure"``; :func:`core_info`
+returns a dict for CLI/CI introspection (``repro run --engine-info``).
+"""
+
+from __future__ import annotations
+
+import os
+
+ENGINE_IMPL = "pure"
+compiled = None  # the _corec module when active, else None
+
+if not os.environ.get("REPRO_NO_COMPILED"):
+    try:
+        from repro.sim import _corec as compiled  # type: ignore[no-redef]
+    except Exception:  # pragma: no cover - absent/broken extension
+        compiled = None
+    else:
+        ENGINE_IMPL = "compiled"
+
+
+def core_info() -> dict:
+    """Which engine core is active, and why (for ``--engine-info``)."""
+    return {
+        "impl": ENGINE_IMPL,
+        "module": compiled.__name__ if compiled is not None else
+                  "repro.sim.engine",
+        "forced_pure": bool(os.environ.get("REPRO_NO_COMPILED")),
+    }

@@ -26,6 +26,20 @@ horizon chunk instead of one per tick.
 Cancelling a handle nulls its callback in place (O(1)); dead entries are
 discarded lazily when they surface, or in a batch compaction when
 cancelled entries outnumber live ones.
+
+Two further churn-reduction paths ride on the same lazy machinery:
+
+* :meth:`Simulator.postpone` moves a pending event's deadline *later*
+  without touching the queue: the handle's ``(time, seq)`` are updated in
+  place and the queued tuple goes stale (its ``seq`` no longer matches
+  the handle's).  A stale tuple that surfaces is silently re-inserted at
+  the handle's true position instead of executing.  Exactly one ``seq``
+  is drawn per call — the same draw a cancel+reschedule would make — so
+  the global tie-break order is bit-identical to the eager formulation.
+* :meth:`Simulator.schedule_anon` is ``schedule_at`` for fire-and-forget
+  callbacks whose handle the caller discards (link drains/deliveries):
+  the handle comes from a per-simulator free list and is recycled the
+  moment it fires, so the busiest allocation site stops allocating.
 """
 
 from __future__ import annotations
@@ -91,6 +105,25 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.fn is None else "pending"
         return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+#: ``times`` sentinel marking a pooled fire-and-forget event (see
+#: :meth:`Simulator.schedule_anon`).  Any non-None, non-list value the run
+#: loops can test with ``is`` works; the empty tuple costs nothing.
+_POOLED: tuple = ()
+
+#: Free-list cap per simulator; beyond this, fired handles are dropped.
+_EV_POOL_MAX = 4096
+
+
+class _PooledEvent(Event):
+    """A fire-and-forget :class:`Event` recycled through the simulator's
+    free list after it fires.  Never hand its handle to code that might
+    retain or cancel it past the firing — the object will be reused."""
+
+    __slots__ = ()
+
+    times = _POOLED
 
 
 class SeriesEvent(Event):
@@ -176,7 +209,7 @@ class SeriesEvent(Event):
 class _HeapQueue:
     """PR 1's tuple heap behind the shared backend interface."""
 
-    __slots__ = ("_heap", "dead", "size", "peak")
+    __slots__ = ("_heap", "dead", "size", "peak", "pushes")
 
     kind = "heap"
 
@@ -185,9 +218,11 @@ class _HeapQueue:
         self.dead = 0  # cancelled entries not yet discarded
         self.size = 0  # queued entries, live + dead
         self.peak = 0
+        self.pushes = 0  # total insertions (churn metric for benchmarks)
 
     def push(self, entry: tuple[float, int, int, Event]) -> None:
         heapq.heappush(self._heap, entry)
+        self.pushes += 1
         size = self.size + 1
         self.size = size
         if size > self.peak:
@@ -196,11 +231,21 @@ class _HeapQueue:
     def first_time(self) -> float:
         """Time of the earliest live entry, or ``inf`` when empty."""
         heap = self._heap
-        while heap and heap[0][3].fn is None:
-            heapq.heappop(heap)
-            self.dead -= 1
-            self.size -= 1
-        return heap[0][0] if heap else math.inf
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev.fn is None:
+                heapq.heappop(heap)
+                self.dead -= 1
+                self.size -= 1
+            elif entry[2] != ev.seq:
+                # Stale (postponed) tuple: re-file at the true deadline.
+                heapq.heappop(heap)
+                heapq.heappush(heap, (ev.time, ev.priority, ev.seq, ev))
+                self.pushes += 1
+            else:
+                return entry[0]
+        return math.inf
 
     def note_cancel(self, live: int) -> None:
         self.dead += 1
@@ -208,9 +253,18 @@ class _HeapQueue:
             self.compact()
 
     def compact(self) -> None:
-        """Drop every cancelled tuple and re-heapify (amortized O(n))."""
+        """Drop every cancelled tuple and re-heapify (amortized O(n));
+        stale (postponed) tuples are re-filed at their true deadlines."""
         heap = self._heap
-        heap[:] = [entry for entry in heap if entry[3].fn is not None]
+        fresh = []
+        for entry in heap:
+            ev = entry[3]
+            if ev.fn is None:
+                continue
+            if entry[2] != ev.seq:
+                entry = (ev.time, ev.priority, ev.seq, ev)
+            fresh.append(entry)
+        heap[:] = fresh
         heapq.heapify(heap)
         self.dead = 0
         self.size = len(heap)
@@ -226,6 +280,7 @@ class _HeapQueue:
         heappop = heapq.heappop
         heappush = heapq.heappush
         next_seq = sim._next_seq
+        ev_pool = sim._ev_pool
         executed = 0
         while not sim._stopped:
             if not heap:
@@ -238,6 +293,13 @@ class _HeapQueue:
                 self.dead -= 1
                 self.size -= 1
                 continue
+            if entry[2] != ev.seq:
+                # Stale (postponed) tuple: re-file at the true deadline
+                # without executing — the live/size bookkeeping nets zero.
+                heappop(heap)
+                heappush(heap, (ev.time, ev.priority, ev.seq, ev))
+                self.pushes += 1
+                continue
             time = entry[0]
             if time > limit:
                 break
@@ -249,6 +311,12 @@ class _HeapQueue:
             if times is None:
                 ev.fn = None  # consumed; a late cancel() must be a no-op
                 fn(*ev.args)
+            elif times is _POOLED:
+                ev.fn = None
+                fn(*ev.args)
+                ev.args = ()
+                if len(ev_pool) < _EV_POOL_MAX:
+                    ev_pool.append(ev)
             else:
                 ev._queued = False
                 fn(*ev.args)
@@ -262,6 +330,7 @@ class _HeapQueue:
                         ev.seq = seq
                         ev._queued = True
                         heappush(heap, (t2, entry[1], seq, ev))
+                        self.pushes += 1
                         size = self.size + 1
                         self.size = size
                         if size > self.peak:
@@ -300,7 +369,7 @@ class _CalendarQueue:
     __slots__ = (
         "_buckets", "_n", "_width", "_inv_width", "_start", "_end", "_hint",
         "_wheel_count", "_over", "_grow_at", "_shrink_at", "resizes",
-        "dead", "size", "peak",
+        "dead", "size", "peak", "pushes",
     )
 
     kind = "calendar"
@@ -328,10 +397,12 @@ class _CalendarQueue:
         self.dead = 0
         self.size = 0
         self.peak = 0
+        self.pushes = 0  # total insertions (churn metric for benchmarks)
 
     # ------------------------------------------------------------- insert
 
     def push(self, entry: tuple[float, int, int, Event]) -> None:
+        self.pushes += 1
         t = entry[0]
         start = self._start
         if start is None:
@@ -382,18 +453,31 @@ class _CalendarQueue:
             buckets = self._buckets
             n = self._n
             b = self._hint
+            stale = False
             while b < n:
                 bucket = buckets[b]
                 if not bucket:
                     b += 1
                     continue
                 best = bucket[0]
-                if best[3].fn is None:  # purge dead heads lazily
+                ev = best[3]
+                if ev.fn is None:  # purge dead heads lazily
                     heappop(bucket)
                     self._wheel_count -= 1
                     self.size -= 1
                     self.dead -= 1
                     continue
+                if best[2] != ev.seq:
+                    # Stale (postponed) tuple: re-file at the true
+                    # deadline.  push() may resize and invalidate every
+                    # local, so restart the scan from the top.
+                    self._hint = b
+                    heappop(bucket)
+                    self._wheel_count -= 1
+                    self.size -= 1
+                    self.push((ev.time, ev.priority, ev.seq, ev))
+                    stale = True
+                    break
                 self._hint = b
                 if best[0] > limit:
                     return None
@@ -404,6 +488,8 @@ class _CalendarQueue:
                 if size - self.dead < self._shrink_at and self._n > self._MIN_BUCKETS:
                     self._resize(self._n // 2)
                 return best
+            if stale:
+                continue
             # Scanned the whole window without finding an entry: the
             # wheel is empty — retry via the overflow/anchor path.
             self._hint = n
@@ -446,6 +532,7 @@ class _CalendarQueue:
         """
         heappop = heapq.heappop
         next_seq = sim._next_seq
+        ev_pool = sim._ev_pool
         executed = 0
         while not sim._stopped:
             # -- dequeue: earliest live entry, or advance/stop ----------
@@ -464,18 +551,30 @@ class _CalendarQueue:
             n = self._n
             b = self._hint
             entry = None
+            stale = False
             while b < n:
                 bucket = buckets[b]
                 if not bucket:
                     b += 1
                     continue
                 best = bucket[0]
-                if best[3].fn is None:  # purge dead heads lazily
+                ev = best[3]
+                if ev.fn is None:  # purge dead heads lazily
                     heappop(bucket)
                     self._wheel_count -= 1
                     self.size -= 1
                     self.dead -= 1
                     continue
+                if best[2] != ev.seq:
+                    # Stale (postponed) tuple: re-file at the true
+                    # deadline; push() may resize, so restart the scan.
+                    self._hint = b
+                    heappop(bucket)
+                    self._wheel_count -= 1
+                    self.size -= 1
+                    self.push((ev.time, ev.priority, ev.seq, ev))
+                    stale = True
+                    break
                 self._hint = b
                 if best[0] > limit:
                     return
@@ -487,6 +586,8 @@ class _CalendarQueue:
                     self._resize(n // 2)
                 entry = best
                 break
+            if stale:
+                continue
             if entry is None:
                 # Scanned the whole window: wheel is (effectively) empty.
                 self._hint = n
@@ -504,6 +605,12 @@ class _CalendarQueue:
             if times is None:
                 ev.fn = None  # consumed; a late cancel() must be a no-op
                 fn(*ev.args)
+            elif times is _POOLED:
+                ev.fn = None
+                fn(*ev.args)
+                ev.args = ()
+                if len(ev_pool) < _EV_POOL_MAX:
+                    ev_pool.append(ev)
             else:
                 ev._queued = False
                 fn(*ev.args)
@@ -565,6 +672,11 @@ class _CalendarQueue:
             e for bucket in self._buckets for e in bucket if e[3].fn is not None
         ]
         entries.extend(e for e in self._over if e[3].fn is not None)
+        # Re-file stale (postponed) tuples at their true deadlines.
+        for i, e in enumerate(entries):
+            ev = e[3]
+            if e[2] != ev.seq:
+                entries[i] = (ev.time, ev.priority, ev.seq, ev)
         return entries
 
     def _resize(self, n: int) -> None:
@@ -582,6 +694,7 @@ class _CalendarQueue:
         self.dead = 0
         self.size = 0
         peak = self.peak
+        pushes = self.pushes
         if entries:
             self._anchor(min(e[0] for e in entries))
         else:
@@ -589,6 +702,7 @@ class _CalendarQueue:
         for entry in entries:
             self.push(entry)
         self.peak = peak
+        self.pushes = pushes  # re-filing existing entries is not churn
 
     def _tune_width(self, entries) -> float:
         """Bucket width ~ 2x the median inter-event gap near the head.
@@ -651,6 +765,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        self._ev_pool: list[Event] = []  # recycled fire-and-forget handles
+        self._ev_created = 0
+        self._ev_reused = 0
 
     @property
     def now(self) -> float:
@@ -670,6 +787,11 @@ class Simulator:
             "queued": q.size,
             "live": self._live,
             "peak_occupancy": q.peak,
+            "dead": q.dead,
+            "pushes": q.pushes,
+            "resizes": getattr(q, "resizes", 0),
+            "event_pool_created": self._ev_created,
+            "event_pool_reused": self._ev_reused,
         }
 
     def schedule(
@@ -708,7 +830,10 @@ class Simulator:
         seq = self._next_seq()
         # Inline construction (object.__new__ + stores) skips one Python
         # call frame on the busiest allocation site in the simulator.
-        ev = _new_event(Event)
+        # PyEvent, not Event: the public name rebinds to the compiled
+        # class when the extension loads, and this reference implementation
+        # must keep building its own events either way.
+        ev = _new_event(PyEvent)
         ev.time = time
         ev.priority = priority
         ev.seq = seq
@@ -718,6 +843,83 @@ class Simulator:
         self._q.push((time, priority, seq, ev))
         self._live += 1
         return ev
+
+    def schedule_anon(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """``schedule_at`` for fire-and-forget callbacks.
+
+        The handle comes from a per-simulator free list and is recycled
+        the moment the event fires, so hot fire-and-forget sites (link
+        drain wake-ups and deliveries) stop allocating.  The caller MUST
+        discard the returned handle — retaining or cancelling it after
+        the firing observes a recycled object.  Draws one ``seq``, like
+        ``schedule_at``, so the event order is bit-identical either way.
+        """
+        if not FLAGS.event_pool:
+            return self.schedule_at(time, fn, *args, priority=priority)
+        if time.__class__ is not float:
+            time = float(time)
+        if not (self._now <= time < math.inf):
+            if math.isfinite(time):
+                raise ValueError(
+                    f"cannot schedule into the past (time={time}, now={self._now})"
+                )
+            raise ValueError(f"event time must be finite, got {time}")
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        seq = self._next_seq()
+        pool = self._ev_pool
+        if pool:
+            ev = pool.pop()
+            self._ev_reused += 1
+        else:
+            ev = _new_event(_PooledEvent)
+            ev._sim = self
+            self._ev_created += 1
+        ev.time = time
+        ev.priority = priority
+        ev.seq = seq
+        ev.fn = fn
+        ev.args = args
+        self._q.push((time, priority, seq, ev))
+        self._live += 1
+        return ev
+
+    def postpone(self, ev: Event, time: float) -> Event:
+        """Move a pending event's deadline, cheaply when it moves later.
+
+        Semantically identical to ``ev.cancel()`` followed by
+        ``schedule_at(time, fn, *args)`` with the same callback, priority
+        and argument tuple — including drawing exactly one ``seq`` — but
+        when the new deadline is no earlier than the current one the
+        queued tuple is left in place and only the handle is updated
+        (O(1), no queue traffic).  The stale tuple is silently re-filed
+        when it surfaces.  Deadlines moving *earlier* fall back to the
+        eager cancel+reschedule.  Returns the handle to keep (the same
+        object on the lazy path, a fresh one on the fallback).
+        """
+        fn = ev.fn
+        if fn is None:
+            raise ValueError("cannot postpone a cancelled or fired event")
+        if ev.times is not None:
+            raise ValueError("cannot postpone a series or pooled event")
+        if ev._sim is not self:
+            raise ValueError("event belongs to a different simulator")
+        if time.__class__ is not float:
+            time = float(time)
+        if ev.time <= time < math.inf:
+            ev.time = time
+            ev.seq = self._next_seq()
+            return ev
+        args = ev.args
+        priority = ev.priority
+        ev.cancel()
+        return self.schedule_at(time, fn, *args, priority=priority)
 
     def schedule_series(
         self,
@@ -748,7 +950,8 @@ class Simulator:
         if not callable(fn):
             raise TypeError("fn must be callable")
         seq = self._next_seq()
-        ev = SeriesEvent(times[0], priority, seq, fn, args, self, times)
+        # PySeriesEvent: see schedule_at — never the rebound public name.
+        ev = PySeriesEvent(times[0], priority, seq, fn, args, self, times)
         self._q.push((times[0], priority, seq, ev))
         self._live += 1
         return ev
@@ -801,3 +1004,22 @@ class Simulator:
             f"Simulator(now={self._now:.6f}, pending={self._live}, "
             f"queue={self._q.kind})"
         )
+
+
+# --------------------------------------------------------------------------
+# Compiled-core swap-in.  The pure-Python classes above are the reference
+# implementation and stay importable as PySimulator/PyEvent/PySeriesEvent
+# (the fuzz and parity tests compare both cores in one process).  When the
+# C extension is present (and REPRO_NO_COMPILED is unset) the public names
+# rebind to the compiled twins — same API, same bit-exact event order.
+
+PyEvent = Event
+PySeriesEvent = SeriesEvent
+PySimulator = Simulator
+
+from repro.sim._core import ENGINE_IMPL, compiled as _compiled  # noqa: E402
+
+if _compiled is not None:
+    Event = _compiled.Event
+    SeriesEvent = _compiled.SeriesEvent
+    Simulator = _compiled.Simulator

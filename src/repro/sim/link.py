@@ -148,7 +148,9 @@ class SimplexLink:
                 self._drain(now)
             else:
                 self._drain_pending = True
-                self.sim.schedule_at(self._busy_until, self._drain_event)
+                # Fire-and-forget: the handle is never retained, so it
+                # rides the simulator's recycled-event free list.
+                self.sim.schedule_anon(self._busy_until, self._drain_event)
         return True
 
     def _drain(self, now: float) -> None:
@@ -164,11 +166,11 @@ class SimplexLink:
         # still serializing differs from the old at-tx-complete counters.
         self.packets_sent += 1
         self.bytes_sent += packet.size
-        schedule_at = self.sim.schedule_at
-        schedule_at(depart + self.delay, self._deliver, packet)
+        schedule_anon = self.sim.schedule_anon
+        schedule_anon(depart + self.delay, self._deliver, packet)
         if self._q_len():
             self._drain_pending = True
-            schedule_at(depart, self._drain_event)
+            schedule_anon(depart, self._drain_event)
 
     def _drain_event(self) -> None:
         self._drain_pending = False

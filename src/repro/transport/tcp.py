@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.perf import FLAGS
 from repro.sim.packet import FlowKey, Packet, PacketType
 from repro.transport.flow import FlowAgent
 
@@ -247,11 +248,22 @@ class TcpSender(FlowAgent):
         self.rto = min(_MAX_RTO, max(_MIN_RTO, self._srtt + _K * self._rttvar))
 
     def _restart_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        ev = self._rto_event
         if self.in_flight > 0 and not self.stopped:
+            if ev is not None and FLAGS.lazy_timers:
+                # Per-ACK deadline bump: postpone the pending timer in
+                # place instead of a cancel+reschedule round trip.  One
+                # seq draw either way, so this is bit-exact (the golden
+                # master and the event-churn regression test pin it).
+                sim = self.sim
+                self._rto_event = sim.postpone(ev, sim.now + self.rto)
+                return
+            if ev is not None:
+                ev.cancel()
             self._rto_event = self.sim.schedule(self.rto, self._on_timeout)
+        elif ev is not None:
+            ev.cancel()
+            self._rto_event = None
 
     def _on_timeout(self) -> None:
         self._rto_event = None

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
 from repro.perf import FLAGS
 from repro.sim.packet import FlowKey, Packet
 from repro.transport.flow import FlowAgent
@@ -139,20 +141,23 @@ class CbrSender(FlowAgent):
         Same arithmetic as the unbatched loop: each time is the previous
         one plus ``interval * (1 + jitter * (2u - 1))``, with the jitter
         factors drawn in bulk from this sender's (exclusive) stream.
+
+        Vectorized, bit-exactly: the per-gap terms are elementwise
+        float64 expressions identical to the scalar ones, and numpy's
+        ``add.accumulate`` (cumsum) folds strictly left-to-right — the
+        same ``t = t + gap`` rounding sequence as the loop it replaces
+        (unlike ``add.reduce``, which sums pairwise).
         """
         interval = self.interval
         jitter = self.jitter
-        times: list[float] = []
-        t = last_time
+        steps = np.empty(count + 1)
+        steps[0] = last_time
         if jitter == 0.0:
-            for _ in range(count):
-                t = t + interval
-                times.append(t)
+            steps[1:] = interval
         else:
-            for u in self._rng.random(count):
-                t = t + interval * (1.0 + jitter * (2.0 * float(u) - 1.0))
-                times.append(t)
-        return times
+            u = self._rng.random(count)
+            steps[1:] = interval * (1.0 + jitter * (2.0 * u - 1.0))
+        return np.add.accumulate(steps)[1:].tolist()
 
     def _series_tick(self) -> None:
         if self.stopped:
@@ -266,17 +271,20 @@ class OnOffSender(CbrSender):
 
     def _burst_chunk(self, last_time: float) -> list[float]:
         """Departure times after ``last_time``, through the first instant
-        at or past the phase end (where the off transition fires)."""
+        at or past the phase end (where the off transition fires).
+
+        Vectorized like :meth:`_next_gaps` (sequential ``add.accumulate``
+        keeps the rounding of the scalar loop); the early exit becomes a
+        ``searchsorted`` for the first time at or past the phase end.
+        """
         interval = self.interval
         end = self._phase_ends
-        times: list[float] = []
-        t = last_time
-        for _ in range(_CHUNK):
-            t = t + interval
-            times.append(t)
-            if t >= end:
-                break
-        return times
+        steps = np.empty(_CHUNK + 1)
+        steps[0] = last_time
+        steps[1:] = interval
+        times = np.add.accumulate(steps)[1:]
+        cut = int(np.searchsorted(times, end, side="left")) + 1
+        return times[:cut].tolist()
 
     def _burst_tick(self) -> None:
         if self.stopped:

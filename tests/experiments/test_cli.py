@@ -38,6 +38,13 @@ class TestRun:
         ])
         assert code == 0
 
+    def test_engine_info(self, capsys):
+        from repro.sim._core import ENGINE_IMPL
+
+        assert main(["run", "--engine-info"]) == 0
+        out = capsys.readouterr().out
+        assert f"engine core: {ENGINE_IMPL}" in out
+
 
 class TestFigure:
     def test_figure_to_stdout(self, capsys):

@@ -63,6 +63,28 @@ class TestPresetSemantics:
             is DefenseKind.PROPORTIONAL
         )
 
+    def test_huge_topology_scales_population(self):
+        config = get_preset("huge-topology")
+        base = get_preset("paper-default")
+        assert config.total_flows == 8 * base.total_flows
+        assert config.n_routers > base.n_routers
+        # Memory discipline: the preset must not hoard per-arrival
+        # tuples or trace records at this population.
+        assert config.streaming_series
+        assert not config.trace_enabled
+        # Per-flow behaviour unchanged — only the aggregate grows.
+        assert config.attack_fraction == base.attack_fraction
+        assert config.rate_bps == base.rate_bps
+        assert config.mafic.drop_probability == base.mafic.drop_probability
+
+    def test_huge_topology_scale_parameter(self):
+        from repro.experiments.presets import huge_topology
+
+        assert huge_topology(scale=2).total_flows == 100
+        assert huge_topology(scale=20).n_routers == 320  # capped
+        with pytest.raises(ValueError):
+            huge_topology(scale=0)
+
 
 class TestPresetFeasibility:
     @pytest.mark.parametrize("name", sorted(PRESETS))

@@ -81,6 +81,26 @@ class TestReproducibility:
         assert a.events_executed != b.events_executed
 
 
+class TestStreamingConfigField:
+    def test_config_field_selects_streaming_collector(self):
+        """``config.streaming_series`` alone (no runner argument) must
+        switch to the bounded-memory collector — huge-topology relies
+        on it."""
+        from repro.metrics.collectors import StreamingVictimCollector
+
+        run = run_experiment(small_config(streaming_series=True))
+        assert isinstance(
+            run.scenario.victim_collector, StreamingVictimCollector
+        )
+
+    def test_config_field_matches_buffered_results(self):
+        streaming = run_experiment(small_config(streaming_series=True))
+        buffered = run_experiment(small_config())
+        assert streaming.events_executed == buffered.events_executed
+        assert streaming.summary.accuracy == buffered.summary.accuracy
+        assert streaming.series.times == buffered.series.times
+
+
 class TestAtrMetrics:
     def test_precision_recall_bounds(self, default_run):
         assert 0.0 <= default_run.atr_precision <= 1.0

@@ -1,0 +1,152 @@
+"""Randomized scheduler fuzz: every backend × every engine core.
+
+One seeded operation stream — schedule/schedule_anon/cancel/postpone/
+series/partial-run, interleaved — is replayed against the heap and
+calendar backends of both the pure-Python engine and the compiled C
+core (when built).  All four executions must produce the identical
+callback firing order, the identical ``seq`` draws for every returned
+handle, and identical pending/cancel bookkeeping.  This is the
+edge-case net under the golden master: golden runs exercise the hot
+paths, the fuzz stream hammers the rare interleavings (postpone-earlier
+fallbacks, cancel-after-fire, series stopped while queued, compaction
+mid-stream).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import engine
+from repro.sim._core import compiled
+
+IMPLS = [("pure", engine.PySimulator)]
+if compiled is not None:
+    IMPLS.append(("compiled", compiled.Simulator))
+
+QUEUES = ("heap", "calendar")
+
+SEEDS = (20260808, 4242, 77)
+
+
+def _run_fuzz(sim_cls, queue: str, seed: int, ops: int = 800):
+    """Replay the seeded op stream; return everything order-sensitive."""
+    rng = random.Random(seed)
+    sim = sim_cls(queue=queue)
+    log: list = []
+    seqs: list[int] = []
+    handles: list = []   # plain-event handles we may cancel/postpone
+    series: list = []
+
+    def cb(tag):
+        def fire():
+            log.append((tag, sim.now))
+        return fire
+
+    for i in range(ops):
+        r = rng.random()
+        if r < 0.40:
+            t = sim.now + round(rng.uniform(0.0, 4.0), 3)
+            ev = sim.schedule_at(t, cb(i), priority=rng.choice((-1, 0, 1)))
+            handles.append(ev)
+            seqs.append(ev.seq)
+        elif r < 0.50:
+            t = sim.now + round(rng.uniform(0.0, 4.0), 3)
+            # Fire-and-forget: the handle must be discarded (recycled on
+            # firing), so only the callback log observes it.
+            sim.schedule_anon(t, cb(("anon", i)))
+        elif r < 0.60 and handles:
+            # May already have fired or been cancelled — cancel() is
+            # idempotent and a no-op then, which is part of the contract.
+            handles.pop(rng.randrange(len(handles))).cancel()
+        elif r < 0.70 and handles:
+            j = rng.randrange(len(handles))
+            ev = handles[j]
+            if not ev.cancelled:
+                # Uniform around ``now`` regardless of ev.time: hits the
+                # lazy in-place path (later deadline) and the eager
+                # cancel+reschedule fallback (earlier deadline).
+                t = sim.now + round(rng.uniform(0.0, 6.0), 3)
+                handles[j] = sim.postpone(ev, t)
+                seqs.append(handles[j].seq)
+        elif r < 0.78:
+            start = sim.now + round(rng.uniform(0.001, 2.0), 3)
+            times = [start]
+            for _ in range(rng.randrange(0, 3)):
+                times.append(times[-1] + round(rng.uniform(0.0, 1.0), 3))
+            sv = sim.schedule_series(times, cb(("series", i)))
+            series.append(sv)
+            seqs.append(sv.seq)
+        elif r < 0.83 and series:
+            sv = series.pop(rng.randrange(len(series)))
+            if rng.random() < 0.5:
+                sv.stop()
+            else:
+                sv.cancel()
+        else:
+            sim.run(until=sim.now + round(rng.uniform(0.0, 1.5), 3))
+
+    sim.run()  # drain
+    return {
+        "log": log,
+        "seqs": seqs,
+        "pending": sim.pending(),
+        "events_executed": sim.events_executed,
+        "now": sim.now,
+        "stats": sim.queue_stats(),
+    }
+
+
+#: queue_stats keys that must agree across *backends* too.  queued/dead/
+#: peak/pushes/resizes legitimately differ between heap and calendar
+#: (different compaction and rebuild schedules), but live events and the
+#: free-list recycling trace are backend-independent facts.
+BACKEND_FREE_KEYS = ("live", "event_pool_created", "event_pool_reused")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_identical_across_backends_and_cores(seed):
+    runs = {
+        (impl, queue): _run_fuzz(sim_cls, queue, seed)
+        for impl, sim_cls in IMPLS
+        for queue in QUEUES
+    }
+    reference = runs[("pure", "heap")]
+    assert reference["events_executed"] > 100  # the stream actually ran
+
+    for key, run in runs.items():
+        assert run["log"] == reference["log"], key
+        assert run["seqs"] == reference["seqs"], key
+        assert run["pending"] == reference["pending"], key
+        assert run["events_executed"] == reference["events_executed"], key
+        assert run["now"] == reference["now"], key
+        for stat in BACKEND_FREE_KEYS:
+            assert run["stats"][stat] == reference["stats"][stat], (key, stat)
+
+    # Full counter parity is a per-backend claim: the compiled core must
+    # mirror the pure bookkeeping exactly, dead/peak/pushes included.
+    if compiled is not None:
+        for queue in QUEUES:
+            assert (
+                runs[("compiled", queue)]["stats"]
+                == runs[("pure", queue)]["stats"]
+            ), queue
+
+
+@pytest.mark.skipif(compiled is None, reason="compiled core not built")
+def test_public_engine_exports_compiled_when_built():
+    """When the extension is importable (and not forced off), the public
+    ``Simulator`` IS the compiled one — no silent fallback."""
+    assert engine.Simulator is compiled.Simulator
+    assert engine.Event is compiled.Event
+    assert engine.SeriesEvent is compiled.SeriesEvent
+
+
+def test_pure_engine_always_importable():
+    """The pure twins stay reachable for side-by-side testing."""
+    sim = engine.PySimulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "ok")
+    sim.run()
+    assert fired == ["ok"]

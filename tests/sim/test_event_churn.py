@@ -1,0 +1,79 @@
+"""Queue-churn regressions: lazy RTO timers and pooled event handles.
+
+PR 7 removed two per-event costs from the hot path: TCP's per-ACK RTO
+cancel+reschedule round trip (now an in-place ``Simulator.postpone``)
+and the allocation of a fresh Event for every fire-and-forget link
+callback (now recycled through a free list).  Both are required to be
+bit-exact — same results, same event counts — so the *only* observable
+difference is bookkeeping: fewer queue pushes, recycled handles.  These
+tests pin that claim with the ``pushes`` and ``event_pool_*`` counters
+so a refactor that quietly reverts to the eager formulation fails
+loudly instead of just getting slower.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.perf import engine_mode
+
+
+def _small_config():
+    return ExperimentConfig(total_flows=12, n_routers=10, duration=3.0, seed=11)
+
+
+def _fingerprint(result):
+    return (
+        dataclasses.asdict(result.summary),
+        result.events_executed,
+        sorted(result.identified_atrs),
+        result.activation_time,
+    )
+
+
+class TestLazyRtoTimers:
+    def test_bit_exact_and_fewer_pushes(self):
+        with engine_mode(lazy_timers=True):
+            lazy = run_experiment(_small_config())
+            lazy_stats = lazy.scenario.sim.queue_stats()
+        with engine_mode(lazy_timers=False):
+            eager = run_experiment(_small_config())
+            eager_stats = eager.scenario.sim.queue_stats()
+
+        # Identical simulation: the postpone path draws exactly one seq
+        # per ACK, like cancel+reschedule does.
+        assert _fingerprint(lazy) == _fingerprint(eager)
+
+        # The point of the lazy path: every ACK that used to cancel and
+        # re-push its RTO timer now updates it in place, so whole
+        # percents of all queue traffic disappear (a stale tuple only
+        # costs a re-push when the old deadline actually surfaces
+        # first).  ~7% of total pushes on this workload; gate at 5% so
+        # the test pins "substantial", not this exact scenario mix.
+        assert lazy_stats["pushes"] < eager_stats["pushes"]
+        saved = eager_stats["pushes"] - lazy_stats["pushes"]
+        assert saved > eager_stats["pushes"] * 0.05
+
+
+class TestEventPool:
+    def test_bit_exact_and_recycles(self):
+        with engine_mode(event_pool=True):
+            pooled = run_experiment(_small_config())
+            pooled_stats = pooled.scenario.sim.queue_stats()
+        with engine_mode(event_pool=False):
+            plain = run_experiment(_small_config())
+            plain_stats = plain.scenario.sim.queue_stats()
+
+        assert _fingerprint(pooled) == _fingerprint(plain)
+
+        # With the pool off nothing is created or reused; with it on the
+        # free list carries nearly every fire-and-forget link event.
+        assert plain_stats["event_pool_created"] == 0
+        assert plain_stats["event_pool_reused"] == 0
+        assert pooled_stats["event_pool_reused"] > 0
+        assert (
+            pooled_stats["event_pool_reused"]
+            > 10 * pooled_stats["event_pool_created"]
+        )
