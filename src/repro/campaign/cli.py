@@ -83,6 +83,12 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
             "--max-runs 1) and dump pstats to FILE; the REPRO_PROFILE "
             "env var is the same switch for Makefile/CI invocations",
         )
+        p.add_argument(
+            "--record", default=None, metavar="FILE",
+            help="record the campaign's event stream (one campaign.run "
+            "per executed cell plus progress) to a JSONL flight "
+            "recording for 'python -m repro replay'",
+        )
 
     p = csub.add_parser(
         "status", help="planned vs completed runs (exit 1 if incomplete)"
@@ -207,17 +213,33 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
 
     bus = EventBus()
     bus.subscribe(CallbackSink(on_run), kinds=("campaign.run",))
+    recorder = None
+    if args.record:
+        from repro.obs.recorder import JsonlSink
 
-    report = run_campaign(
-        spec,
-        root=args.root,
-        jobs=args.jobs,
-        max_runs=args.max_runs,
-        wave_size=args.wave,
-        progress=progress,
-        bus=bus,
-        profile_path=profile_path,
-    )
+        recorder = JsonlSink(args.record, metadata={
+            "command": f"campaign {args.campaign_command}",
+            "campaign": spec.name,
+            "spec_path": args.spec,
+        })
+        bus.subscribe(recorder)
+
+    try:
+        report = run_campaign(
+            spec,
+            root=args.root,
+            jobs=args.jobs,
+            max_runs=args.max_runs,
+            wave_size=args.wave,
+            progress=progress,
+            bus=bus,
+            profile_path=profile_path,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if recorder is not None:
+        print(f"recorded {recorder.events_written} events to {args.record}")
     state = "complete" if report.complete else "incomplete"
     print(
         f"campaign {report.name}: {report.planned} planned, "

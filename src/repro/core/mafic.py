@@ -46,13 +46,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class DefenseObserver(Protocol):
-    """Metrics seam: the agent reports every decision it takes."""
+    """Metrics seam: the agent reports every decision it takes.
 
-    def on_defense_drop(self, packet: Packet, reason: str, now: float) -> None: ...
+    ``atr`` names the reporting agent's ingress router; one observer
+    serves the whole defence line, so it is the only way a consumer can
+    attribute a decision to an ATR.  It defaults to ``""`` so bare
+    3-argument observers keep working.
+    """
 
-    def on_defense_pass(self, packet: Packet, now: float) -> None: ...
+    def on_defense_drop(
+        self, packet: Packet, reason: str, now: float, atr: str = ""
+    ) -> None: ...
 
-    def on_verdict(self, label: FlowLabel, verdict: str, now: float) -> None: ...
+    def on_defense_pass(
+        self, packet: Packet, now: float, atr: str = ""
+    ) -> None: ...
+
+    def on_verdict(
+        self, label: FlowLabel, verdict: str, now: float, atr: str = ""
+    ) -> None: ...
 
 
 @dataclass
@@ -163,6 +175,8 @@ class MaficAgent:
         )
         self.observer = observer
         self.trace = trace
+        # Cached for the observer calls on the per-packet path.
+        self._atr = router.name
 
         self.active = False
         self.tables = FlowTables()
@@ -263,7 +277,7 @@ class MaficAgent:
             self.tables.demote_from_nice(label)
         self.stats.packets_passed += 1
         if self.observer is not None:
-            self.observer.on_defense_pass(packet, now)
+            self.observer.on_defense_pass(packet, now, self._atr)
         return True
 
     def _handle_suspicious(self, packet: Packet, label: FlowLabel, now: float) -> bool:
@@ -290,7 +304,7 @@ class MaficAgent:
             return self._drop(packet, "probe", now)
         self.stats.packets_passed += 1
         if self.observer is not None:
-            self.observer.on_defense_pass(packet, now)
+            self.observer.on_defense_pass(packet, now, self._atr)
         return True
 
     def _handle_unknown(self, packet: Packet, label: FlowLabel, now: float) -> bool:
@@ -304,7 +318,7 @@ class MaficAgent:
         if decision is DropDecision.PASS:
             self.stats.packets_passed += 1
             if self.observer is not None:
-                self.observer.on_defense_pass(packet, now)
+                self.observer.on_defense_pass(packet, now, self._atr)
             return True
         if decision is DropDecision.DROP:
             # Baseline policies (proportional, rate-limit) drop blindly.
@@ -406,7 +420,7 @@ class MaficAgent:
             }[verdict]
             self.trace.record(now, category, flow=int(label), atr=self.router.name)
         if self.observer is not None:
-            self.observer.on_verdict(label, verdict, now)
+            self.observer.on_verdict(label, verdict, now, self._atr)
 
     def _enforce_pdt_cap(self) -> None:
         cap = self.config.max_pdt_entries
@@ -455,7 +469,7 @@ class MaficAgent:
                 now, f"drop.{reason}", flow=packet.flow_hash, atr=self.router.name
             )
         if self.observer is not None:
-            self.observer.on_defense_drop(packet, reason, now)
+            self.observer.on_defense_drop(packet, reason, now, self._atr)
         return False
 
     def _now(self, now: float | None) -> float:

@@ -7,7 +7,8 @@ Usage::
     python -m repro run --list-presets
     python -m repro run --list {topologies,workloads,attacks,defenses,all}
     python -m repro serve [run flags] [--port P] [--pace X] [--linger]
-    python -m repro serve --campaign spec.toml [--root DIR]
+    python -m repro serve --campaign spec.toml [--root DIR] [--jobs N]
+    python -m repro replay recording.jsonl.gz [--port P] [--pace X]
     python -m repro figure fig3a [--scale S] [--out FILE]
     python -m repro campaign run|resume|status|report spec.toml
     python -m repro list
@@ -114,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(COMPONENT_REGISTRIES) + ["all"],
         help="print one registry (or all of them) and exit",
     )
+    run_p.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="record the full typed event stream to a JSONL flight "
+        "recording (.gz compresses); play it back with "
+        "'python -m repro replay FILE'; single-run mode only",
+    )
 
     serve_p = sub.add_parser(
         "serve",
@@ -149,6 +156,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--linger", action="store_true",
         help="keep serving after the run finishes until Ctrl-C "
         "(otherwise the server stops once the work is done)",
+    )
+    serve_p.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="also record the full typed event stream to a JSONL "
+        "flight recording (.gz compresses) for 'repro replay'",
+    )
+    serve_p.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="with --campaign: fan the missing cells across N worker "
+        "processes, multiplexing their event streams into this "
+        "server (default 1 = in-process)",
+    )
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="serve a recorded run: feed a flight recording back "
+        "through the live dashboard/metrics/SSE stack",
+    )
+    replay_p.add_argument(
+        "recording", help="JSONL recording written by --record"
+    )
+    replay_p.add_argument("--host", default="127.0.0.1")
+    replay_p.add_argument("--port", type=int, default=8765,
+                          help="HTTP port (0 = pick a free one)")
+    replay_p.add_argument(
+        "--pace", type=float, default=0.0, metavar="X",
+        help="recorded seconds replayed per wall-clock second "
+        "(0 = feed as fast as possible)",
+    )
+    replay_p.add_argument(
+        "--window", type=float, default=1.0, metavar="S",
+        help="sliding window for windowed rates, in sim seconds",
+    )
+    replay_p.add_argument(
+        "--no-linger", dest="linger", action="store_false", default=True,
+        help="exit after feeding the recording instead of serving "
+        "until Ctrl-C",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
@@ -253,11 +297,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--profile profiles the single-run path; drop --seeds",
                   file=sys.stderr)
             return 2
+        if args.record:
+            print("--record captures one run's event stream; drop --seeds",
+                  file=sys.stderr)
+            return 2
         return _cmd_run_multi_seed(config, args)
-    if args.profile:
-        result = _run_profiled(config, args.profile)
-    else:
-        result = run_experiment(config)
+    bus = None
+    recorder = None
+    if args.record:
+        from repro.obs.bus import EventBus
+        from repro.obs.recorder import JsonlSink
+
+        recorder = JsonlSink(args.record, metadata={
+            "command": "run",
+            "scenario": (
+                f"{config.topology}/{config.workload}/"
+                f"{config.attack}/{config.defense}"
+            ),
+            "seed": config.seed,
+            "duration": config.duration,
+            "config_hash": config.config_hash(),
+        })
+        bus = EventBus()
+        bus.subscribe(recorder)
+    try:
+        if args.profile:
+            result = _run_profiled(config, args.profile, bus=bus)
+        else:
+            result = run_experiment(config, bus=bus)
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if recorder is not None:
+        print(
+            f"recorded {recorder.events_written} events to {args.record}",
+        )
     print(format_summary(result.summary))
     if result.activation_time is not None:
         print(f"\npushback triggered at t={result.activation_time:.2f}s; "
@@ -267,7 +341,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_profiled(config: ExperimentConfig, out_path: str):
+def _run_profiled(config: ExperimentConfig, out_path: str, bus=None):
     """Run one experiment under cProfile; write stats, print the top.
 
     Thin wrapper over :func:`repro.experiments.profiling.profiled_call`
@@ -276,7 +350,7 @@ def _run_profiled(config: ExperimentConfig, out_path: str):
     """
     from repro.experiments.profiling import profiled_call
 
-    return profiled_call(lambda: run_experiment(config), out_path)
+    return profiled_call(lambda: run_experiment(config, bus=bus), out_path)
 
 
 def _cmd_run_multi_seed(config: ExperimentConfig, args: argparse.Namespace) -> int:
@@ -346,6 +420,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.serve import cmd_serve
 
         return cmd_serve(args)
+    if args.command == "replay":
+        from repro.obs.serve import cmd_replay
+
+        return cmd_replay(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "campaign":

@@ -188,6 +188,7 @@ def _run_sliced(sim, duration: float, slice_seconds, on_slice) -> None:
 
 def _emit_run_started(bus, config: ExperimentConfig) -> None:
     from repro.obs.events import RunStarted
+    from repro.sim._core import core_info
 
     bus.emit(RunStarted(
         time=0.0,
@@ -198,6 +199,7 @@ def _emit_run_started(bus, config: ExperimentConfig) -> None:
             f"{config.attack}/{config.defense}"
         ),
         duration=config.duration,
+        engine=core_info()["impl"],
     ))
 
 

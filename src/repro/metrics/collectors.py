@@ -77,7 +77,9 @@ class DefenseMetricsCollector:
 
     # ------------------------------------------------- observer interface
 
-    def on_defense_drop(self, packet: Packet, reason: str, now: float) -> None:
+    def on_defense_drop(
+        self, packet: Packet, reason: str, now: float, atr: str = ""
+    ) -> None:
         """Record one dropped packet with its ground-truth class."""
         truth = self._classify(packet)
         counts = self.counts[truth]
@@ -94,23 +96,33 @@ class DefenseMetricsCollector:
         if self.first_drop_time is None:
             self.first_drop_time = now
         if self.bus:
-            self.bus.emit(DefenseDecision(now, "drop", reason, truth.value))
+            self.bus.emit(DefenseDecision(
+                now, "drop", reason, truth.value, packet.flow_hash, atr
+            ))
 
-    def on_defense_pass(self, packet: Packet, now: float) -> None:
+    def on_defense_pass(
+        self, packet: Packet, now: float, atr: str = ""
+    ) -> None:
         """Record one passed packet."""
         truth = self._classify(packet)
         counts = self.counts[truth]
         counts.examined += 1
         counts.passed += 1
         if self.bus:
-            self.bus.emit(DefenseDecision(now, "pass", "", truth.value))
+            self.bus.emit(DefenseDecision(
+                now, "pass", "", truth.value, packet.flow_hash, atr
+            ))
 
-    def on_verdict(self, label, verdict: str, now: float) -> None:
+    def on_verdict(
+        self, label, verdict: str, now: float, atr: str = ""
+    ) -> None:
         """Record a table verdict with the flow's ground truth."""
         truth = self.flow_truth.get(int(label), FlowTruth.UNKNOWN)
         self.verdicts.append((now, int(label), verdict, truth))
         if self.bus:
-            self.bus.emit(Verdict(now, int(label), verdict, truth.value))
+            self.bus.emit(Verdict(
+                now, int(label), verdict, truth.value, atr
+            ))
 
     # ----------------------------------------------------------- summaries
 

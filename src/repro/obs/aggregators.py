@@ -53,6 +53,7 @@ class LiveMetrics:
         self.events_executed = 0
         self.pending_events = 0
         self.queue_backend = ""
+        self.engine_build = ""
         self.runs_started = 0
         self.runs_completed = 0
         self.last_run: dict | None = None
@@ -116,6 +117,9 @@ class LiveMetrics:
                 self.link_drops[key] = self.link_drops.get(key, 0) + 1
             elif kind == "run.started":
                 self.runs_started += 1
+                engine = getattr(event, "engine", "")
+                if engine:
+                    self.engine_build = engine
             elif kind == "run.completed":
                 self.runs_completed += 1
                 self.last_run = event.to_dict()
@@ -186,6 +190,7 @@ class LiveMetrics:
                 "events_executed": self.events_executed,
                 "pending_events": self.pending_events,
                 "queue_backend": self.queue_backend,
+                "engine_build": self.engine_build,
                 "link_drops": {
                     f"{link}:{reason}": count
                     for (link, reason), count in sorted(self.link_drops.items())
@@ -194,4 +199,292 @@ class LiveMetrics:
                 "runs_completed": self.runs_completed,
                 "last_run": self.last_run,
                 "campaign": self.campaign,
+            }
+
+
+class _FlowEntry:
+    """One tracked flow's drill-down counters (exact since admission)."""
+
+    __slots__ = (
+        "flow", "truth", "atr", "drops", "passes", "drops_by_reason",
+        "verdicts", "last_verdict", "last_verdict_time", "last_seen",
+        "weight",
+    )
+
+    def __init__(self, flow: int, weight_floor: int) -> None:
+        self.flow = flow
+        self.truth = ""
+        self.atr = ""
+        self.drops = 0
+        self.passes = 0
+        self.drops_by_reason: dict[str, int] = {}
+        self.verdicts = 0
+        self.last_verdict = ""
+        self.last_verdict_time: float | None = None
+        self.last_seen = 0.0
+        #: Space-saving activity weight; seeded with the evicted
+        #: minimum so a re-admitted heavy hitter is not instantly
+        #: evicted again.  Per-field counters above stay exact for the
+        #: tracked period — only the eviction ORDER uses the floor.
+        self.weight = weight_floor
+
+    def to_dict(self) -> dict:
+        return {
+            "flow": self.flow,
+            "truth": self.truth,
+            "atr": self.atr,
+            "drops": self.drops,
+            "passes": self.passes,
+            "drops_by_reason": dict(self.drops_by_reason),
+            "verdicts": self.verdicts,
+            "last_verdict": self.last_verdict,
+            "last_verdict_time": self.last_verdict_time,
+            "last_seen": self.last_seen,
+        }
+
+
+class FlowDrilldown:
+    """Bounded top-K table of the most-dropped / most-throttled flows.
+
+    A sink over ``defense.decision`` and ``defense.verdict`` events
+    (which carry the flow hash and the deciding ATR).  Memory is bounded
+    by ``capacity`` tracked flows via the space-saving heuristic: when a
+    new flow arrives at a full table, the entry with the least activity
+    is evicted and the newcomer inherits its activity weight as a floor,
+    so persistent heavy hitters always survive one-packet noise.  The
+    per-flow counters themselves are exact for the tracked period;
+    ``evicted_flows`` in the snapshot tells truncation from quiet runs.
+
+    Thread-safe: the simulation (or demux) thread emits while HTTP
+    handlers snapshot.
+    """
+
+    def __init__(self, capacity: int = 512, top_k: int = 20) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.capacity = int(capacity)
+        self.top_k = int(top_k)
+        self._lock = threading.Lock()
+        self._flows: dict[int, _FlowEntry] = {}
+        self.evicted_flows = 0
+        self.decisions_seen = 0
+        self.verdicts_seen = 0
+
+    # ------------------------------------------------------------ sink API
+
+    def emit(self, event: MetricEvent) -> None:
+        kind = event.kind
+        if kind == "defense.decision":
+            with self._lock:
+                self.decisions_seen += 1
+                entry = self._entry(event.flow)
+                entry.weight += 1
+                entry.last_seen = event.time
+                entry.truth = event.truth
+                if event.atr:
+                    entry.atr = event.atr
+                if event.action == "drop":
+                    entry.drops += 1
+                    entry.drops_by_reason[event.reason] = (
+                        entry.drops_by_reason.get(event.reason, 0) + 1
+                    )
+                else:
+                    entry.passes += 1
+        elif kind == "defense.verdict":
+            with self._lock:
+                self.verdicts_seen += 1
+                entry = self._entry(event.label)
+                entry.weight += 1
+                entry.last_seen = event.time
+                entry.truth = event.truth
+                if event.atr:
+                    entry.atr = event.atr
+                entry.verdicts += 1
+                entry.last_verdict = event.verdict
+                entry.last_verdict_time = event.time
+
+    def close(self) -> None:
+        """Nothing to flush; the table stays readable."""
+
+    # ----------------------------------------------------------- internals
+
+    def _entry(self, flow: int) -> _FlowEntry:
+        entry = self._flows.get(flow)
+        if entry is not None:
+            return entry
+        floor = 0
+        if len(self._flows) >= self.capacity:
+            victim = min(self._flows.values(), key=lambda e: e.weight)
+            del self._flows[victim.flow]
+            self.evicted_flows += 1
+            floor = victim.weight
+        entry = _FlowEntry(flow, floor)
+        self._flows[flow] = entry
+        return entry
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Top-K tables plus tracking health, one consistent view."""
+        with self._lock:
+            entries = list(self._flows.values())
+            top_dropped = sorted(
+                (e for e in entries if e.drops),
+                key=lambda e: (-e.drops, e.flow),
+            )[: self.top_k]
+            top_throttled = sorted(
+                (
+                    e for e in entries
+                    if e.drops_by_reason.get("probe", 0)
+                ),
+                key=lambda e: (-e.drops_by_reason.get("probe", 0), e.flow),
+            )[: self.top_k]
+            return {
+                "capacity": self.capacity,
+                "top_k": self.top_k,
+                "tracked_flows": len(entries),
+                "evicted_flows": self.evicted_flows,
+                "decisions_seen": self.decisions_seen,
+                "verdicts_seen": self.verdicts_seen,
+                "top_dropped": [e.to_dict() for e in top_dropped],
+                "top_throttled": [e.to_dict() for e in top_throttled],
+            }
+
+
+class _AtrEntry:
+    """One ATR's verdict-churn and drop counters."""
+
+    __slots__ = (
+        "atr", "verdicts", "flips", "drops", "drops_by_reason", "passes",
+        "last_verdict_time", "verdict_window", "last_flow_verdict",
+    )
+
+    def __init__(self, atr: str) -> None:
+        self.atr = atr
+        self.verdicts: dict[str, int] = {}
+        self.flips = 0
+        self.drops = 0
+        self.passes = 0
+        self.drops_by_reason: dict[str, int] = {}
+        self.last_verdict_time: float | None = None
+        self.verdict_window: deque[float] = deque()
+        #: flow -> last verdict at THIS atr, for flip detection.
+        self.last_flow_verdict: dict[int, str] = {}
+
+
+class AtrDrilldown:
+    """Per-ATR verdict-churn tracker.
+
+    Folds ``defense.verdict`` and ``defense.decision`` events into one
+    entry per ATR: verdict counts by outcome, windowed verdict rate,
+    drop/pass counts by reason, and **flips** — a flow re-judged to a
+    different outcome than its previous verdict at the same ATR (the
+    signature of verdict churn under ``renotice_interval`` re-probing,
+    and of an adversary laundering flows through the nice table).
+
+    ATR cardinality is topology-bounded (one per ingress), so entries
+    are only bounded per-ATR: the flip-detection map remembers at most
+    ``flow_memory`` flows per ATR, evicting oldest-inserted first.
+    """
+
+    def __init__(self, window: float = 1.0, flow_memory: int = 4096) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if flow_memory < 1:
+            raise ValueError("flow_memory must be >= 1")
+        self.window = float(window)
+        self.flow_memory = int(flow_memory)
+        self._lock = threading.Lock()
+        self._atrs: dict[str, _AtrEntry] = {}
+        self.sim_time = 0.0
+
+    # ------------------------------------------------------------ sink API
+
+    def emit(self, event: MetricEvent) -> None:
+        kind = event.kind
+        if kind == "defense.verdict":
+            with self._lock:
+                self._advance(event.time)
+                entry = self._entry(event.atr)
+                entry.verdicts[event.verdict] = (
+                    entry.verdicts.get(event.verdict, 0) + 1
+                )
+                entry.last_verdict_time = event.time
+                entry.verdict_window.append(event.time)
+                previous = entry.last_flow_verdict.get(event.label)
+                if previous is not None and previous != event.verdict:
+                    entry.flips += 1
+                if (
+                    previous is None
+                    and len(entry.last_flow_verdict) >= self.flow_memory
+                ):
+                    # Oldest-inserted eviction (dict preserves insertion
+                    # order); forgets stale flows, keeps recent churn.
+                    entry.last_flow_verdict.pop(
+                        next(iter(entry.last_flow_verdict))
+                    )
+                entry.last_flow_verdict[event.label] = event.verdict
+        elif kind == "defense.decision":
+            with self._lock:
+                self._advance(event.time)
+                entry = self._entry(event.atr)
+                if event.action == "drop":
+                    entry.drops += 1
+                    entry.drops_by_reason[event.reason] = (
+                        entry.drops_by_reason.get(event.reason, 0) + 1
+                    )
+                else:
+                    entry.passes += 1
+
+    def close(self) -> None:
+        """Nothing to flush; the table stays readable."""
+
+    # ----------------------------------------------------------- internals
+
+    def _entry(self, atr: str) -> _AtrEntry:
+        entry = self._atrs.get(atr)
+        if entry is None:
+            entry = _AtrEntry(atr)
+            self._atrs[atr] = entry
+        return entry
+
+    def _advance(self, now: float) -> None:
+        if now > self.sim_time:
+            self.sim_time = now
+        cutoff = self.sim_time - self.window
+        for entry in self._atrs.values():
+            window = entry.verdict_window
+            while window and window[0] < cutoff:
+                window.popleft()
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """Every ATR's churn view, busiest (most verdicts) first."""
+        with self._lock:
+            rows = []
+            for entry in self._atrs.values():
+                total = sum(entry.verdicts.values())
+                rows.append({
+                    "atr": entry.atr,
+                    "verdicts_total": total,
+                    "verdicts": dict(sorted(entry.verdicts.items())),
+                    "flips": entry.flips,
+                    "drops": entry.drops,
+                    "passes": entry.passes,
+                    "drops_by_reason": dict(
+                        sorted(entry.drops_by_reason.items())
+                    ),
+                    "verdicts_per_second": (
+                        len(entry.verdict_window) / self.window
+                    ),
+                    "last_verdict_time": entry.last_verdict_time,
+                })
+            rows.sort(key=lambda row: (-row["verdicts_total"], row["atr"]))
+            return {
+                "window_seconds": self.window,
+                "sim_time": self.sim_time,
+                "atrs": rows,
             }

@@ -70,6 +70,8 @@ class DefenseDecision(MetricEvent):
     ``action`` is ``"drop"`` or ``"pass"``; ``reason`` is the drop
     reason (``probe``/``pdt``/``illegal``/``policy``) or ``""`` for a
     pass.  ``truth`` is the packet's ground-truth class value.
+    ``flow`` is the packet's flow hash and ``atr`` the deciding agent's
+    router — the two dimensions the drill-down views aggregate over.
     """
 
     kind = "defense.decision"
@@ -77,17 +79,23 @@ class DefenseDecision(MetricEvent):
     action: str
     reason: str
     truth: str
+    flow: int = 0
+    atr: str = ""
 
 
 @dataclass(slots=True)
 class Verdict(MetricEvent):
-    """A MAFIC table verdict, classified against ground truth."""
+    """A MAFIC table verdict, classified against ground truth.
+
+    ``atr`` names the agent (ingress router) that issued the verdict.
+    """
 
     kind = "defense.verdict"
 
     label: int
     verdict: str
     truth: str
+    atr: str = ""
 
 
 @dataclass(slots=True)
@@ -153,7 +161,12 @@ class LinkStats(MetricEvent):
 
 @dataclass(slots=True)
 class RunStarted(MetricEvent):
-    """A run began executing (time is always 0.0)."""
+    """A run began executing (time is always 0.0).
+
+    ``engine`` records the active engine build (``"compiled"`` or
+    ``"pure"``, from :func:`repro.sim._core.core_info`) so recordings
+    and dashboards say which core produced the event stream.
+    """
 
     kind = "run.started"
 
@@ -161,6 +174,7 @@ class RunStarted(MetricEvent):
     seed: int
     scenario: str
     duration: float
+    engine: str = ""
 
 
 @dataclass(slots=True)
@@ -204,3 +218,48 @@ class CampaignProgress(MetricEvent):
     done: int
     total: int
     cached: int
+
+
+#: kind -> event class, for deserializing recorded/multiplexed streams.
+EVENT_TYPES: dict[str, type[MetricEvent]] = {
+    cls.kind: cls
+    for cls in (
+        VictimArrival,
+        DefenseDecision,
+        Verdict,
+        DefenseActivation,
+        MonitorSnapshot,
+        EngineStats,
+        LinkDrop,
+        LinkStats,
+        RunStarted,
+        RunCompleted,
+        CampaignRun,
+        CampaignProgress,
+    )
+}
+
+
+def event_from_dict(payload: dict) -> MetricEvent | None:
+    """Rebuild the typed event a :meth:`MetricEvent.to_dict` produced.
+
+    The exact inverse of ``to_dict`` for every kind in
+    :data:`EVENT_TYPES`; unknown kinds (a newer recording schema's
+    additions) and unknown fields are tolerated — the former return
+    ``None``, the latter are dropped — so old readers degrade instead
+    of crashing on new streams.
+    """
+    cls = EVENT_TYPES.get(payload.get("kind", ""))
+    if cls is None:
+        return None
+    names = _FIELD_NAMES[cls.kind]
+    return cls(**{
+        key: value for key, value in payload.items() if key in names
+    })
+
+
+#: kind -> frozenset of constructor field names (hot in replay/demux).
+_FIELD_NAMES: dict[str, frozenset[str]] = {
+    kind: frozenset(field.name for field in dataclasses.fields(cls))
+    for kind, cls in EVENT_TYPES.items()
+}

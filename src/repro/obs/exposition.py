@@ -8,6 +8,8 @@ test so dashboards scraping ``/metrics`` don't silently break.
 
 from __future__ import annotations
 
+import math
+
 from repro.obs.aggregators import LiveMetrics
 
 
@@ -17,17 +19,45 @@ def _escape(value: str) -> str:
     )
 
 
+def _format_value(value) -> str:
+    """One sample value as the text format spells it.
+
+    Floats that aren't finite must be rendered as ``NaN``/``+Inf``/
+    ``-Inf`` — Python's ``str()`` says ``nan``/``inf``, which scrapers
+    reject.  Everything else keeps its ``str()`` form (ints stay
+    unsuffixed, floats keep repr precision).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "+Inf" if value > 0 else "-Inf"
+    return str(value)
+
+
 def _sample(name: str, value, labels: dict[str, str] | None = None) -> str:
     if labels:
         inner = ",".join(
             f'{key}="{_escape(str(val))}"' for key, val in sorted(labels.items())
         )
-        return f"{name}{{{inner}}} {value}"
-    return f"{name} {value}"
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
 
 
-def render_prometheus(live: LiveMetrics) -> str:
-    """The ``/metrics`` page body for one live-metrics snapshot."""
+def render_prometheus(
+    live: LiveMetrics,
+    flows=None,
+    atrs=None,
+    sse: dict | None = None,
+) -> str:
+    """The ``/metrics`` page body for one live-metrics snapshot.
+
+    ``flows``/``atrs`` are the optional drill-down aggregators
+    (:class:`~repro.obs.aggregators.FlowDrilldown` /
+    :class:`~repro.obs.aggregators.AtrDrilldown`); when given, their
+    top-K tables are exposed as labeled series.  ``sse`` is the
+    broker's :meth:`~repro.obs.serve.SSEBroker.stats` dict for the
+    back-pressure counters.
+    """
     snap = live.snapshot()
     lines: list[str] = []
 
@@ -154,5 +184,73 @@ def render_prometheus(live: LiveMetrics) -> str:
 
     metric("repro_runs_completed_total", "counter", "Runs finished serving.")
     lines.append(_sample("repro_runs_completed_total", snap["runs_completed"]))
+
+    if flows is not None:
+        fsnap = flows.snapshot()
+        metric(
+            "repro_flow_drops_total", "counter",
+            "Drops for the top-K most-dropped flows, by flow hash.",
+        )
+        for entry in fsnap["top_dropped"]:
+            lines.append(_sample(
+                "repro_flow_drops_total", entry["drops"],
+                {"flow": str(entry["flow"]), "truth": entry["truth"]},
+            ))
+        metric(
+            "repro_flow_tracked", "gauge",
+            "Flows currently tracked by the drill-down table.",
+        )
+        lines.append(_sample("repro_flow_tracked", fsnap["tracked_flows"]))
+        metric(
+            "repro_flow_evicted_total", "counter",
+            "Flow entries evicted by the bounded table.",
+        )
+        lines.append(_sample(
+            "repro_flow_evicted_total", fsnap["evicted_flows"]
+        ))
+
+    if atrs is not None:
+        asnap = atrs.snapshot()
+        metric(
+            "repro_atr_verdicts_total", "counter",
+            "MAFIC verdicts per ATR, by verdict.",
+        )
+        for row in asnap["atrs"]:
+            for verdict, count in row["verdicts"].items():
+                lines.append(_sample(
+                    "repro_atr_verdicts_total", count,
+                    {"atr": row["atr"], "verdict": verdict},
+                ))
+        metric(
+            "repro_atr_verdict_flips_total", "counter",
+            "Flows re-judged to a different verdict at the same ATR.",
+        )
+        for row in asnap["atrs"]:
+            lines.append(_sample(
+                "repro_atr_verdict_flips_total", row["flips"],
+                {"atr": row["atr"]},
+            ))
+        metric(
+            "repro_atr_drops_total", "counter",
+            "Defence drops per ATR.",
+        )
+        for row in asnap["atrs"]:
+            lines.append(_sample(
+                "repro_atr_drops_total", row["drops"], {"atr": row["atr"]}
+            ))
+
+    if sse is not None:
+        metric(
+            "repro_sse_clients", "gauge",
+            "Event-stream clients currently connected.",
+        )
+        lines.append(_sample("repro_sse_clients", sse["clients"]))
+        metric(
+            "repro_sse_dropped_events_total", "counter",
+            "Events lost to full per-client queues (slow consumers).",
+        )
+        lines.append(_sample(
+            "repro_sse_dropped_events_total", sse["dropped_events"]
+        ))
 
     return "\n".join(lines) + "\n"

@@ -42,10 +42,17 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.obs.aggregators import LiveMetrics
+from repro.obs.aggregators import AtrDrilldown, FlowDrilldown, LiveMetrics
 from repro.obs.bus import EventBus
 from repro.obs.events import MetricEvent
 from repro.obs.exposition import render_prometheus
+
+#: Event kinds the drill-down aggregators fold (the per-packet kinds the
+#: SSE stream deliberately excludes, plus verdicts).
+DRILLDOWN_KINDS: tuple[str, ...] = (
+    "defense.decision",
+    "defense.verdict",
+)
 
 #: Event kinds forwarded to ``/events``/``/stream`` subscribers.  The
 #: two per-packet kinds are deliberately absent: at simulation rates
@@ -82,6 +89,10 @@ class SSEBroker:
         self._lock = threading.Lock()
         self._clients: list[queue.Queue] = []
         self._closed = False
+        #: Events lost to full client queues, across all clients ever.
+        self.dropped_events = 0
+        #: Events offered to at least one client (serialized payloads).
+        self.published_events = 0
 
     # ------------------------------------------------------------ sink API
 
@@ -102,15 +113,29 @@ class SSEBroker:
     # --------------------------------------------------------- broker API
 
     def publish(self, payload: dict) -> None:
-        """Serialize once, offer to every client, drop on full."""
+        """Serialize once, offer to every client, drop (counted) on full."""
         line = json.dumps(payload, separators=(",", ":"))
+        dropped = 0
         with self._lock:
             clients = list(self._clients)
+            self.published_events += 1
         for q in clients:
             try:
                 q.put_nowait(line)
             except queue.Full:
-                pass
+                dropped += 1
+        if dropped:
+            with self._lock:
+                self.dropped_events += dropped
+
+    def stats(self) -> dict:
+        """Back-pressure health: connected clients and lost events."""
+        with self._lock:
+            return {
+                "clients": len(self._clients),
+                "published_events": self.published_events,
+                "dropped_events": self.dropped_events,
+            }
 
     def register(self) -> queue.Queue:
         """A new client's queue (pre-poisoned if the stream ended)."""
@@ -157,12 +182,32 @@ DASHBOARD_HTML = """<!DOCTYPE html>
          line-height: 1.5; white-space: pre-wrap; }
   .k { color: #8ecaff; }
   .t { color: #6d7885; }
+  #drill { display: grid; gap: 10px; margin: 0 16px 16px;
+           grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); }
+  table { width: 100%; border-collapse: collapse; font-size: 12px;
+          background: #0b0e13; border: 1px solid #2a3442;
+          border-radius: 6px; }
+  th, td { padding: 4px 8px; text-align: right;
+           border-bottom: 1px solid #1d2530; }
+  th { color: #7e8b99; font-size: 10px; text-transform: uppercase;
+       letter-spacing: .08em; }
+  th:first-child, td:first-child { text-align: left; }
+  td.flip { color: #ffb566; }
 </style>
 </head>
 <body>
 <header><h1>repro serve &mdash; MAFIC live metrics</h1>
-<span id="phase">connecting&hellip;</span></header>
+<span><span id="engine"></span> <span id="phase">connecting&hellip;</span>
+</span></header>
 <div id="cards"></div>
+<h2>drill-down &mdash; top dropped flows / ATR verdict churn</h2>
+<div id="drill">
+  <table id="flows"><thead><tr><th>flow</th><th>truth</th><th>atr</th>
+  <th>drops</th><th>probe</th><th>passes</th><th>verdict</th></tr></thead>
+  <tbody></tbody></table>
+  <table id="atrs"><thead><tr><th>atr</th><th>verdicts</th><th>flips</th>
+  <th>drops</th><th>v/s</th></tr></thead><tbody></tbody></table>
+</div>
 <h2>event stream</h2>
 <div id="log"></div>
 <script>
@@ -197,6 +242,8 @@ async function poll() {
     const s = body.live;
     document.getElementById("phase").textContent =
       body.mode + " / " + body.phase;
+    document.getElementById("engine").textContent =
+      s.engine_build ? "engine: " + s.engine_build + " /" : "";
     const values = cards.querySelectorAll(".value");
     CARDS.forEach(([_, fmt], i) => { values[i].textContent = fmt(s); });
   } catch (err) {
@@ -205,6 +252,36 @@ async function poll() {
   setTimeout(poll, 1000);
 }
 poll();
+function fill(id, rows, cells) {
+  const body = document.getElementById(id).querySelector("tbody");
+  body.innerHTML = "";
+  for (const row of rows) {
+    const tr = document.createElement("tr");
+    for (const [value, cls] of cells(row)) {
+      const td = document.createElement("td");
+      td.textContent = value;
+      if (cls) td.className = cls;
+      tr.appendChild(td);
+    }
+    body.appendChild(tr);
+  }
+}
+async function drill() {
+  try {
+    const flows = await (await fetch("/flows")).json();
+    fill("flows", flows.top_dropped.slice(0, 10), f => [
+      [String(f.flow)], [f.truth], [f.atr], [f.drops],
+      [f.drops_by_reason.probe || 0], [f.passes], [f.last_verdict || "-"],
+    ]);
+    const atrs = await (await fetch("/atrs")).json();
+    fill("atrs", atrs.atrs.slice(0, 10), a => [
+      [a.atr], [a.verdicts_total], [a.flips, a.flips ? "flip" : ""],
+      [a.drops], [a.verdicts_per_second.toFixed(1)],
+    ]);
+  } catch (err) { /* server going away; poll() shows the phase */ }
+  setTimeout(drill, 2000);
+}
+drill();
 const log = document.getElementById("log");
 function append(line) {
   const atEnd = log.scrollTop + log.clientHeight >= log.scrollHeight - 4;
@@ -255,13 +332,29 @@ class _Handler(BaseHTTPRequestHandler):
                     DASHBOARD_HTML.encode(), "text/html; charset=utf-8"
                 )
             elif path == "/metrics":
-                body = render_prometheus(self.server.live).encode()
+                body = render_prometheus(
+                    self.server.live,
+                    flows=self.server.flows,
+                    atrs=self.server.atrs,
+                    sse=self.server.broker.stats(),
+                ).encode()
                 self._send(body, "text/plain; version=0.0.4; charset=utf-8")
             elif path == "/state":
                 payload = dict(self.server.status)
                 payload["live"] = self.server.live.snapshot()
+                payload["sse"] = self.server.broker.stats()
                 self._send(
                     json.dumps(payload).encode(),
+                    "application/json; charset=utf-8",
+                )
+            elif path == "/flows":
+                self._send(
+                    json.dumps(self.server.flows.snapshot()).encode(),
+                    "application/json; charset=utf-8",
+                )
+            elif path == "/atrs":
+                self._send(
+                    json.dumps(self.server.atrs.snapshot()).encode(),
                     "application/json; charset=utf-8",
                 )
             elif path == "/healthz":
@@ -315,10 +408,19 @@ class _Server(ThreadingHTTPServer):
 
     daemon_threads = True  # don't let a hung client outlive the run
 
-    def __init__(self, address, live: LiveMetrics, broker: SSEBroker):
+    def __init__(
+        self,
+        address,
+        live: LiveMetrics,
+        broker: SSEBroker,
+        flows: FlowDrilldown | None = None,
+        atrs: AtrDrilldown | None = None,
+    ):
         super().__init__(address, _Handler)
         self.live = live
         self.broker = broker
+        self.flows = flows if flows is not None else FlowDrilldown()
+        self.atrs = atrs if atrs is not None else AtrDrilldown()
         #: Mutated by the work thread; read by ``/state``.
         self.status: dict = {"mode": "", "phase": "starting"}
 
@@ -473,8 +575,225 @@ def _serve_campaign(args, bus, live, broker, status) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """The ``python -m repro serve`` entry point."""
+def _serve_campaign_parallel(args, bus, live, broker, status) -> int:
+    """Fan a campaign's missing cells across worker processes.
+
+    The parent plans, splits the missing run_ids round-robin into
+    ``--jobs`` shards, and spawns one ``python -m repro.obs.worker``
+    per shard.  Each worker executes its assignment with the exact
+    batch-mode ``run_experiment`` + ``store.write_result`` (the store
+    is multi-writer safe, so artifacts are byte-identical to a serial
+    serve, timing key aside) while streaming its full bus as JSON
+    lines on stdout.  One reader thread per worker decodes those lines
+    back into typed events and emits them into the parent's single
+    bus, so ``/``, ``/state``, ``/flows``, ``/metrics`` show the merged
+    view of all workers.
+
+    The parent owns campaign-level progress: it counts ``campaign.run``
+    events from all workers and emits the unified
+    ``campaign.progress`` stream itself.
+    """
+    import subprocess
+    import sys
+
+    from repro.campaign.orchestrator import DEFAULT_ROOT, open_store
+    from repro.campaign.spec import CampaignSpec
+    from repro.obs.events import CampaignProgress, event_from_dict
+
+    series_bin_width = 0.05
+    spec = CampaignSpec.load(args.campaign)
+    root = args.root if args.root is not None else DEFAULT_ROOT
+    store = open_store(spec, root).ensure()
+    store.pin_series_bin_width(series_bin_width)
+    store.write_manifest(spec.to_dict(), series_bin_width=series_bin_width)
+
+    plan = spec.plan()
+    on_disk = store.run_ids()
+    missing = [run for run in plan if run.run_id not in on_disk]
+    jobs = max(1, min(args.jobs, len(missing) or 1))
+    status.update(
+        mode="campaign", phase="running", campaign=spec.name,
+        planned=len(plan), cached=len(plan) - len(missing), jobs=jobs,
+    )
+    print(
+        f"campaign {spec.name}: {len(plan)} planned, "
+        f"{len(plan) - len(missing)} cached, {len(missing)} to run "
+        f"across {jobs} workers",
+        flush=True,
+    )
+    if not missing:
+        status.update(phase="done", executed=0)
+        return 0
+
+    shards = [missing[i::jobs] for i in range(jobs)]
+    done_lock = threading.Lock()
+    done = [0]
+    pump = _snapshot_pump(live, broker, interval=0.25)
+
+    def on_line(payload: dict) -> None:
+        event = event_from_dict(payload)
+        if event is None:
+            return
+        if bus:
+            bus.emit(event)
+        if event.kind == "campaign.run":
+            with done_lock:
+                done[0] += 1
+                progress = done[0]
+            if bus:
+                bus.emit(CampaignProgress(
+                    time=0.0, name=spec.name, done=progress,
+                    total=len(missing), cached=len(plan) - len(missing),
+                ))
+            pump(0.0)
+
+    procs: list[subprocess.Popen] = []
+    readers: list[threading.Thread] = []
+    try:
+        for shard in shards:
+            assignment = json.dumps({
+                "spec_path": args.campaign,
+                "root": root,
+                "series_bin_width": series_bin_width,
+                "run_ids": [run.run_id for run in shard],
+            })
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.obs.worker"],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+            )
+            proc.stdin.write(assignment)
+            proc.stdin.close()
+            procs.append(proc)
+            reader = threading.Thread(
+                target=_drain_worker, args=(proc.stdout, on_line),
+                name=f"repro-worker-reader-{len(readers)}", daemon=True,
+            )
+            reader.start()
+            readers.append(reader)
+        failed = 0
+        for proc in procs:
+            if proc.wait() != 0:
+                failed += 1
+        for reader in readers:
+            reader.join(timeout=5.0)
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait()
+        status.update(phase="interrupted", executed=done[0])
+        print(
+            f"\ninterrupted: {done[0]} new artifacts are on disk; finish "
+            f"with 'python -m repro campaign resume {args.campaign}'",
+            flush=True,
+        )
+        return 130
+    if failed:
+        status.update(phase="failed", executed=done[0])
+        print(f"error: {failed} of {jobs} workers failed", flush=True)
+        return 1
+    status.update(phase="done", executed=done[0])
+    print(
+        f"campaign {spec.name}: executed {done[0]} of {len(missing)} "
+        f"missing runs across {jobs} workers",
+        flush=True,
+    )
+    return 0
+
+
+def _drain_worker(stdout, on_line) -> None:
+    """Decode one worker's JSON-line event stream into callbacks."""
+    for line in stdout:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # partial line from a dying worker
+        on_line(payload)
+    stdout.close()
+
+
+def _replay_feed(args, bus, live, broker, status) -> int:
+    """Feed a recording's events back through the bus, optionally paced."""
+    from repro.obs.recorder import RecordingError, open_recording
+
+    try:
+        recording = open_recording(args.recording)
+    except (OSError, RecordingError) as exc:
+        print(f"error: {exc}")
+        return 2
+    meta = recording.metadata
+    status.update(
+        mode="replay", phase="replaying", recording=args.recording,
+        metadata=meta,
+    )
+    print(
+        f"replaying {args.recording}"
+        + (f" ({meta.get('scenario')})" if meta.get("scenario") else ""),
+        flush=True,
+    )
+    pump = _snapshot_pump(live, broker, interval=0.25)
+    pace = args.pace
+    start = time.monotonic()
+    events = 0
+    try:
+        for event in recording.events():
+            if pace > 0 and event.time > 0:
+                delay = (start + event.time / pace) - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            if bus:
+                bus.emit(event)
+            events += 1
+            if events % 1024 == 0:
+                pump(event.time)
+    except KeyboardInterrupt:
+        status.update(phase="interrupted", events_replayed=events)
+        print("\nreplay interrupted", flush=True)
+        return 130
+    except RecordingError as exc:
+        status.update(phase="failed", events_replayed=events)
+        print(f"error: {exc}")
+        return 2
+    pump_final = _snapshot_pump(live, broker, interval=0.0)
+    pump_final(0.0)
+    status.update(phase="done", events_replayed=events,
+                  unknown_kinds=recording.unknown_kinds)
+    skipped = (
+        f" ({recording.unknown_kinds} unknown-kind lines skipped)"
+        if recording.unknown_kinds else ""
+    )
+    print(f"replayed {events} events{skipped}", flush=True)
+    return 0
+
+
+def _open_recorder(args, bus):
+    """Attach a JsonlSink for ``--record`` (all kinds); None when off."""
+    record = getattr(args, "record", None)
+    if not record:
+        return None
+    from repro.obs.recorder import JsonlSink
+
+    sink = JsonlSink(record, metadata={
+        "command": "serve" if getattr(args, "campaign", None) is None
+        else "serve --campaign",
+        "campaign": getattr(args, "campaign", None),
+    })
+    bus.subscribe(sink)
+    print(f"recording event stream to {record}", flush=True)
+    return sink
+
+
+def _serve_common(args, work) -> int:
+    """Bind, start the HTTP half, run ``work`` on this thread, linger.
+
+    Shared chassis of ``serve`` and ``replay``: both want the same
+    bus wiring (LiveMetrics + drill-downs + SSE broker), the same
+    endpoints, and the same linger/shutdown story — they differ only
+    in what the work half feeds the bus.
+    """
     # A process backgrounded by a non-interactive shell (`serve ... &`,
     # the normal CI/daemonized shape) inherits SIGINT as SIG_IGN, and
     # Python then never installs KeyboardInterrupt — `kill -INT` would
@@ -482,29 +801,45 @@ def cmd_serve(args) -> int:
     # restore the default handler unconditionally.
     signal.signal(signal.SIGINT, signal.default_int_handler)
     live = LiveMetrics(window=args.window)
+    flows = FlowDrilldown()
+    atrs = AtrDrilldown(window=args.window)
     broker = SSEBroker()
     bus = EventBus()
     bus.subscribe(live)
+    bus.subscribe(flows, kinds=DRILLDOWN_KINDS)
+    bus.subscribe(atrs, kinds=DRILLDOWN_KINDS)
     bus.subscribe(broker, kinds=STREAMED_KINDS)
+    recorder = _open_recorder(args, bus)
 
     try:
-        server = _Server((args.host, args.port), live, broker)
+        server = _Server((args.host, args.port), live, broker, flows, atrs)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}")
+        if recorder is not None:
+            recorder.close()
         return 2
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}/  "
-          "(dashboard /, Prometheus /metrics, SSE /events)", flush=True)
+          "(dashboard /, Prometheus /metrics, SSE /events, "
+          "drill-down /flows /atrs)", flush=True)
     http_thread = threading.Thread(
         target=server.serve_forever, name="repro-serve-http", daemon=True
     )
     http_thread.start()
 
     try:
-        if args.campaign:
-            code = _serve_campaign(args, bus, live, broker, server.status)
-        else:
-            code = _serve_single(args, bus, live, broker, server.status)
+        code = work(bus, live, broker, server.status)
+        if recorder is not None:
+            # Finalize the file the moment the work half stops feeding
+            # the bus: nothing new is recorded while lingering, and a
+            # reader (or a replay of this very file) must not see a
+            # truncated gzip tail.
+            recorder.close()
+            print(
+                f"recorded {recorder.events_written} events to "
+                f"{recorder.path}",
+                flush=True,
+            )
         if code == 0 and args.linger:
             server.status["phase"] = "lingering"
             print("work finished; serving until Ctrl-C (--linger)",
@@ -516,7 +851,34 @@ def cmd_serve(args) -> int:
                 print("\nshutting down", flush=True)
     finally:
         bus.close()           # wakes SSE clients with the sentinel
+        if recorder is not None:
+            recorder.close()  # bus.close() closed it too; idempotent
         server.shutdown()     # stops serve_forever
         server.server_close()
         http_thread.join(timeout=5.0)
     return code
+
+
+def cmd_serve(args) -> int:
+    """The ``python -m repro serve`` entry point."""
+    def work(bus, live, broker, status):
+        if args.campaign and getattr(args, "jobs", 1) and args.jobs > 1:
+            return _serve_campaign_parallel(args, bus, live, broker, status)
+        if args.campaign:
+            return _serve_campaign(args, bus, live, broker, status)
+        return _serve_single(args, bus, live, broker, status)
+
+    return _serve_common(args, work)
+
+
+def cmd_replay(args) -> int:
+    """The ``python -m repro replay`` entry point.
+
+    Serves a *recording* through the identical broker stack: every
+    endpoint behaves exactly as it would over the live run the file
+    captured.  Lingers by default — serving a dead run is the point.
+    """
+    def work(bus, live, broker, status):
+        return _replay_feed(args, bus, live, broker, status)
+
+    return _serve_common(args, work)

@@ -291,14 +291,14 @@ class _Observer:
         self.passes = []
         self.verdicts = []
 
-    def on_defense_drop(self, packet, reason, now):
-        self.drops.append((packet, reason))
+    def on_defense_drop(self, packet, reason, now, atr=""):
+        self.drops.append((packet, reason, atr))
 
-    def on_defense_pass(self, packet, now):
+    def on_defense_pass(self, packet, now, atr=""):
         self.passes.append(packet)
 
-    def on_verdict(self, label, verdict, now):
-        self.verdicts.append((label, verdict))
+    def on_verdict(self, label, verdict, now, atr=""):
+        self.verdicts.append((label, verdict, atr))
 
 
 class TestObserverSeam:
@@ -308,8 +308,18 @@ class TestObserverSeam:
         agent.activate(0.0)
         agent.on_packet(victim_packet(seq=0), None, 0.1)
         sim.run(until=0.6)
-        assert [r for _, r in obs.drops] == ["probe"]
+        assert [r for _, r, _ in obs.drops] == ["probe"]
         assert obs.verdicts[0][1] == "nice"
+
+    def test_observer_calls_carry_the_atr_name(self, sim):
+        """One observer serves the whole line; attribution rides the call."""
+        obs = _Observer()
+        agent = make_agent(sim, pd=1.0, observer=obs)
+        agent.activate(0.0)
+        agent.on_packet(victim_packet(seq=0), None, 0.1)
+        sim.run(until=0.6)
+        assert {atr for _, _, atr in obs.drops} == {"atr0"}
+        assert {atr for _, _, atr in obs.verdicts} == {"atr0"}
 
     def test_observer_sees_passes(self, sim):
         obs = _Observer()

@@ -16,7 +16,19 @@ from repro.obs import (
     Verdict,
     VictimArrival,
 )
+from repro.obs.aggregators import AtrDrilldown, FlowDrilldown
+from repro.obs.events import RunStarted
 from repro.obs.exposition import render_prometheus
+
+
+def _drop(time, flow, reason="probe", truth="attack", atr="ingress0"):
+    return DefenseDecision(time=time, action="drop", reason=reason,
+                           truth=truth, flow=flow, atr=atr)
+
+
+def _verdict(time, label, verdict, truth="attack", atr="ingress0"):
+    return Verdict(time=time, label=label, verdict=verdict, truth=truth,
+                   atr=atr)
 
 
 class TestStreamingBandwidthSeries:
@@ -143,6 +155,158 @@ class TestLiveMetrics:
         assert snap["activation_time"] is None
         assert not math.isnan(snap["arrival_kbps"])
 
+    def test_engine_build_folds_from_run_started(self):
+        live = LiveMetrics()
+        assert live.snapshot()["engine_build"] == ""
+        live.emit(RunStarted(time=0.0, run_id="x", seed=1, scenario="s",
+                             duration=1.0, engine="compiled"))
+        assert live.snapshot()["engine_build"] == "compiled"
+        # An engine-less run.started (older recording) keeps the value.
+        live.emit(RunStarted(time=0.0, run_id="y", seed=2, scenario="s",
+                             duration=1.0))
+        assert live.snapshot()["engine_build"] == "compiled"
+
+    def test_entry_exactly_one_window_old_survives_pruning(self):
+        """Cutoff is strict (`< now - window`): an arrival exactly at
+        the epoch boundary still counts toward the windowed rate."""
+        live = LiveMetrics(window=1.0)
+        live.emit(VictimArrival(time=1.0, size=1000, is_attack=False))
+        live.emit(VictimArrival(time=2.0, size=500, is_attack=False))
+        # cutoff = 2.0 - 1.0 = 1.0; the t=1.0 arrival is not < cutoff.
+        assert live.snapshot()["arrival_kbps"] == 1500 * 8.0 / 1e3 / 1.0
+        live.emit(VictimArrival(time=2.0 + 1e-9, size=0, is_attack=False))
+        # The slightest advance past the boundary evicts it.
+        assert live.snapshot()["arrival_kbps"] == 500 * 8.0 / 1e3 / 1.0
+
+    def test_non_window_events_advance_time_and_prune(self):
+        """A monitor epoch (which owns no window) still advances sim
+        time and prunes every window — rates decay even when the only
+        traffic is old."""
+        live = LiveMetrics(window=1.0)
+        live.emit(VictimArrival(time=0.5, size=1000, is_attack=True))
+        live.emit(_drop(0.5, flow=1))
+        live.emit(_verdict(0.6, 1, "cut"))
+        live.emit(MonitorSnapshot(time=5.0, epoch=2, n_sources=1,
+                                  n_destinations=1, ingress_total=1.0,
+                                  egress_total=1.0))
+        snap = live.snapshot()
+        assert snap["arrival_kbps"] == 0.0
+        assert snap["drops_per_second"] == 0.0
+        assert snap["verdicts_per_second"] == 0.0
+        assert snap["arrivals_total"] == 1  # totals never decay
+
+
+class TestFlowDrilldown:
+    def test_folds_decisions_and_verdicts_per_flow(self):
+        flows = FlowDrilldown()
+        flows.emit(_drop(0.1, flow=7, reason="probe"))
+        flows.emit(_drop(0.2, flow=7, reason="pdt"))
+        flows.emit(DefenseDecision(time=0.3, action="pass", reason="",
+                                   truth="tcp_legit", flow=9, atr="ingress1"))
+        flows.emit(_verdict(0.4, 7, "cut"))
+        snap = flows.snapshot()
+        assert snap["tracked_flows"] == 2
+        assert snap["decisions_seen"] == 3
+        assert snap["verdicts_seen"] == 1
+        (top,) = snap["top_dropped"]
+        assert top["flow"] == 7
+        assert top["drops"] == 2
+        assert top["drops_by_reason"] == {"probe": 1, "pdt": 1}
+        assert top["last_verdict"] == "cut"
+        assert top["atr"] == "ingress0"
+
+    def test_top_throttled_ranks_by_probe_drops(self):
+        flows = FlowDrilldown()
+        for _ in range(3):
+            flows.emit(_drop(0.1, flow=1, reason="pdt"))
+        flows.emit(_drop(0.2, flow=2, reason="probe"))
+        snap = flows.snapshot()
+        assert [e["flow"] for e in snap["top_dropped"]] == [1, 2]
+        assert [e["flow"] for e in snap["top_throttled"]] == [2]
+
+    def test_capacity_bounds_memory_with_spacesaving_eviction(self):
+        flows = FlowDrilldown(capacity=4)
+        # A heavy hitter, then a sweep of one-shot flows past capacity.
+        for _ in range(10):
+            flows.emit(_drop(0.1, flow=99))
+        for flow in range(1, 8):
+            flows.emit(_drop(0.2, flow=flow))
+        snap = flows.snapshot()
+        assert snap["tracked_flows"] == 4
+        assert snap["evicted_flows"] == 4  # 8 distinct flows, cap 4
+        # The heavy hitter survives the churn of singletons.
+        assert snap["top_dropped"][0]["flow"] == 99
+        assert snap["top_dropped"][0]["drops"] == 10
+
+    def test_top_k_truncates_the_tables(self):
+        flows = FlowDrilldown(top_k=2)
+        for flow in range(5):
+            flows.emit(_drop(0.1, flow=flow))
+        assert len(flows.snapshot()["top_dropped"]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowDrilldown(capacity=0)
+        with pytest.raises(ValueError):
+            FlowDrilldown(top_k=0)
+
+
+class TestAtrDrilldown:
+    def test_verdict_counts_and_drops_per_atr(self):
+        atrs = AtrDrilldown()
+        atrs.emit(_verdict(0.1, 1, "nice", atr="a"))
+        atrs.emit(_verdict(0.2, 2, "cut", atr="a"))
+        atrs.emit(_verdict(0.3, 3, "cut", atr="b"))
+        atrs.emit(_drop(0.4, flow=2, atr="a"))
+        snap = atrs.snapshot()
+        assert [row["atr"] for row in snap["atrs"]] == ["a", "b"]
+        a, b = snap["atrs"]
+        assert a["verdicts"] == {"cut": 1, "nice": 1}
+        assert a["drops"] == 1
+        assert a["drops_by_reason"] == {"probe": 1}
+        assert b["verdicts_total"] == 1
+
+    def test_flip_is_a_rejudged_flow_with_a_different_outcome(self):
+        atrs = AtrDrilldown()
+        atrs.emit(_verdict(0.1, 5, "nice", atr="a"))
+        atrs.emit(_verdict(0.2, 5, "nice", atr="a"))   # same: no flip
+        assert atrs.snapshot()["atrs"][0]["flips"] == 0
+        atrs.emit(_verdict(0.3, 5, "cut", atr="a"))    # flip
+        assert atrs.snapshot()["atrs"][0]["flips"] == 1
+        # The same flow judged at a DIFFERENT atr is not a flip there.
+        atrs.emit(_verdict(0.4, 5, "nice", atr="b"))
+        rows = {row["atr"]: row for row in atrs.snapshot()["atrs"]}
+        assert rows["b"]["flips"] == 0
+
+    def test_verdict_rate_window_prunes(self):
+        atrs = AtrDrilldown(window=1.0)
+        atrs.emit(_verdict(0.1, 1, "cut", atr="a"))
+        atrs.emit(_verdict(0.2, 2, "cut", atr="a"))
+        assert atrs.snapshot()["atrs"][0]["verdicts_per_second"] == 2.0
+        atrs.emit(_verdict(5.0, 3, "cut", atr="a"))
+        row = atrs.snapshot()["atrs"][0]
+        assert row["verdicts_per_second"] == 1.0
+        assert row["verdicts_total"] == 3  # totals never decay
+
+    def test_flow_memory_is_bounded_per_atr(self):
+        atrs = AtrDrilldown(flow_memory=2)
+        atrs.emit(_verdict(0.1, 1, "nice", atr="a"))
+        atrs.emit(_verdict(0.2, 2, "nice", atr="a"))
+        atrs.emit(_verdict(0.3, 3, "nice", atr="a"))  # evicts flow 1
+        entry = atrs._atrs["a"]
+        assert len(entry.last_flow_verdict) == 2
+        assert 1 not in entry.last_flow_verdict
+        # A forgotten flow re-judged differently is NOT counted as a
+        # flip (its history is gone) — the bound trades that recall.
+        atrs.emit(_verdict(0.4, 1, "cut", atr="a"))
+        assert atrs.snapshot()["atrs"][0]["flips"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AtrDrilldown(window=0.0)
+        with pytest.raises(ValueError):
+            AtrDrilldown(flow_memory=0)
+
 
 class TestPrometheusExposition:
     def test_format_is_pinned(self):
@@ -175,3 +339,34 @@ class TestPrometheusExposition:
         live.emit(LinkDrop(time=0.0, link='odd"name\\x', reason="hook"))
         text = render_prometheus(live)
         assert 'link="odd\\"name\\\\x"' in text
+
+    def test_newlines_in_label_values_are_escaped(self):
+        live = LiveMetrics()
+        live.emit(LinkDrop(time=0.0, link="two\nlines", reason="hook"))
+        text = render_prometheus(live)
+        assert 'link="two\\nlines"' in text
+        # The sample must still be exactly one exposition line.
+        assert not any(
+            line.startswith("lines") for line in text.splitlines()
+        )
+
+    def test_non_finite_values_render_prometheus_spellings(self):
+        """text format 0.0.4 wants NaN/+Inf/-Inf; Python's str() gives
+        nan/inf, which scrapers reject as unparseable."""
+        from repro.obs.exposition import _format_value
+
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(0.5) == "0.5"
+        assert _format_value(7) == "7"
+
+    def test_rendered_text_never_leaks_python_float_repr(self):
+        live = LiveMetrics(window=1.0)
+        _feed_scenario(live)
+        text = render_prometheus(live)
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            value = line.rsplit(" ", 1)[1]
+            assert value not in ("nan", "inf", "-inf"), line

@@ -1,0 +1,204 @@
+"""Flight recorder: header schema, round-trips, replay identity."""
+
+import dataclasses
+import gzip
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs import EventBus, LiveMetrics
+from repro.obs.events import (
+    DefenseDecision,
+    RunStarted,
+    Verdict,
+    VictimArrival,
+    event_from_dict,
+)
+from repro.obs.recorder import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    JsonlSink,
+    RecordingError,
+    open_recording,
+)
+
+TINY = dict(total_flows=8, n_routers=6, duration=1.4, topology="star")
+
+
+def _record(path, events, metadata=None):
+    with JsonlSink(str(path), metadata=metadata) as sink:
+        for event in events:
+            sink.emit(event)
+    return sink
+
+
+SAMPLE_EVENTS = [
+    RunStarted(time=0.0, run_id="abc", seed=3, scenario="s", duration=1.0,
+               engine="compiled"),
+    VictimArrival(time=0.1, size=1000, is_attack=False),
+    DefenseDecision(time=0.2, action="drop", reason="probe", truth="attack",
+                    flow=42, atr="ingress1"),
+    Verdict(time=0.3, label=42, verdict="cut", truth="attack", atr="ingress1"),
+]
+
+
+class TestJsonlSink:
+    def test_header_is_first_line_with_schema_and_metadata(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        _record(path, [], metadata={"scenario": "x"})
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == SCHEMA_NAME
+        assert header["version"] == SCHEMA_VERSION
+        assert header["metadata"] == {"scenario": "x"}
+
+    def test_events_round_trip_typed(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        _record(path, SAMPLE_EVENTS)
+        back = list(open_recording(str(path)).events())
+        assert back == SAMPLE_EVENTS
+
+    def test_gz_suffix_compresses(self, tmp_path):
+        path = tmp_path / "r.jsonl.gz"
+        _record(path, SAMPLE_EVENTS)
+        with gzip.open(path, "rt") as f:
+            assert json.loads(f.readline())["schema"] == SCHEMA_NAME
+        assert list(open_recording(str(path)).events()) == SAMPLE_EVENTS
+
+    def test_reader_sniffs_gzip_regardless_of_suffix(self, tmp_path):
+        """Detection is by magic bytes, not filename."""
+        path = tmp_path / "r.jsonl.gz"
+        sink = _record(path, SAMPLE_EVENTS)
+        renamed = tmp_path / "renamed.dat"
+        path.rename(renamed)
+        assert list(open_recording(str(renamed)).events()) == SAMPLE_EVENTS
+        assert sink.events_written == len(SAMPLE_EVENTS)
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "r.jsonl"
+        _record(path, SAMPLE_EVENTS[:1])
+        assert path.exists()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = _record(tmp_path / "r.jsonl", [])
+        sink.close()
+        sink.close()
+
+
+class TestOpenRecording:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(RecordingError, match="empty"):
+            open_recording(str(path))
+
+    def test_non_json_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(RecordingError, match="header"):
+            open_recording(str(path))
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text(json.dumps({"schema": "other.thing", "version": 1}) + "\n")
+        with pytest.raises(RecordingError, match="not a"):
+            open_recording(str(path))
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION + 1}
+        ) + "\n")
+        with pytest.raises(RecordingError, match="newer"):
+            open_recording(str(path))
+
+    def test_unknown_event_kinds_skipped_and_counted(self, tmp_path):
+        """Forward compatibility: a newer recorder's kinds don't kill
+        an older reader."""
+        path = tmp_path / "r.jsonl"
+        lines = [
+            json.dumps({"schema": SCHEMA_NAME, "version": SCHEMA_VERSION,
+                        "metadata": {}}),
+            json.dumps({"kind": "future.kind", "time": 0.0, "mystery": 1}),
+            json.dumps(SAMPLE_EVENTS[1].to_dict()),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        recording = open_recording(str(path))
+        assert list(recording.events()) == [SAMPLE_EVENTS[1]]
+        assert recording.unknown_kinds == 1
+
+    def test_unknown_fields_dropped(self):
+        """A known kind with extra fields (newer minor revision) loads."""
+        payload = SAMPLE_EVENTS[2].to_dict()
+        payload["brand_new_field"] = "ignored"
+        assert event_from_dict(payload) == SAMPLE_EVENTS[2]
+
+    def test_corrupt_event_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(json.dumps(
+            {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION, "metadata": {}}
+        ) + "\n{oops\n")
+        with pytest.raises(RecordingError, match=":2:"):
+            list(open_recording(str(path)).events())
+
+    def test_truncated_gzip_raises_recording_error(self, tmp_path):
+        """A recorder that died mid-write leaves a cut-off gzip stream;
+        readers must see a RecordingError, not a bare EOFError."""
+        path = tmp_path / "r.jsonl.gz"
+        _record(path, SAMPLE_EVENTS * 200)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 30])
+        with pytest.raises(RecordingError, match="truncated"):
+            list(open_recording(str(path)).events())
+
+    def test_events_iterable_more_than_once(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        _record(path, SAMPLE_EVENTS)
+        recording = open_recording(str(path))
+        assert list(recording.events()) == list(recording.events())
+
+
+def _fingerprint(result):
+    summary = dataclasses.asdict(result.summary)
+    return (
+        {k: (v.hex() if isinstance(v, float) else v)
+         for k, v in summary.items()},
+        [v.hex() for v in result.series.total_kbps],
+        result.events_executed,
+    )
+
+
+class TestRecordingARun:
+    """The tentpole acceptance properties, at unit scale."""
+
+    def test_recording_leaves_results_bit_exact(self, tmp_path):
+        """A run with a JsonlSink attached is bit-identical to a bare
+        run — the golden-master guarantee extends to recording."""
+        config = ExperimentConfig(**TINY)
+        baseline = _fingerprint(run_experiment(config))
+        bus = EventBus()
+        with JsonlSink(str(tmp_path / "r.jsonl.gz")) as sink:
+            bus.subscribe(sink)
+            recorded = _fingerprint(run_experiment(config, bus=bus))
+        assert recorded == baseline
+
+    def test_replayed_stream_reproduces_live_snapshot(self, tmp_path):
+        """Record and fold one run on a shared bus; refolding the file
+        into a fresh LiveMetrics lands on the identical snapshot."""
+        path = tmp_path / "r.jsonl.gz"
+        live = LiveMetrics(window=1.0)
+        bus = EventBus()
+        bus.subscribe(live)
+        with JsonlSink(str(path)) as sink:
+            bus.subscribe(sink)
+            run_experiment(ExperimentConfig(**TINY), bus=bus)
+        refolded = LiveMetrics(window=1.0)
+        recording = open_recording(str(path))
+        count = 0
+        for event in recording.events():
+            refolded.emit(event)
+            count += 1
+        assert count == sink.events_written > 0
+        assert recording.unknown_kinds == 0
+        assert refolded.snapshot() == live.snapshot()

@@ -81,6 +81,69 @@ class TestEndpoints:
             _get(server, "/nope")
         assert err.value.code == 404
 
+    def test_metrics_content_type_is_prometheus_0_0_4(self, server):
+        _, headers, _ = _get(server, "/metrics")
+        assert headers["Content-Type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_flows_endpoint_serves_the_drilldown(self, server):
+        from repro.obs.events import DefenseDecision
+
+        server.flows.emit(DefenseDecision(
+            time=0.1, action="drop", reason="probe", truth="attack",
+            flow=11, atr="ingress2",
+        ))
+        status, headers, body = _get(server, "/flows")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["tracked_flows"] == 1
+        assert payload["top_dropped"][0]["flow"] == 11
+        assert payload["top_dropped"][0]["atr"] == "ingress2"
+
+    def test_atrs_endpoint_serves_the_drilldown(self, server):
+        server.atrs.emit(Verdict(time=0.1, label=5, verdict="cut",
+                                 truth="attack", atr="ingress2"))
+        status, _, body = _get(server, "/atrs")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["atrs"][0]["atr"] == "ingress2"
+        assert payload["atrs"][0]["verdicts"] == {"cut": 1}
+
+    def test_metrics_includes_drilldown_and_sse_series(self, server):
+        from repro.obs.events import DefenseDecision
+
+        server.flows.emit(DefenseDecision(
+            time=0.1, action="drop", reason="probe", truth="attack",
+            flow=11, atr="ingress2",
+        ))
+        server.atrs.emit(Verdict(time=0.2, label=11, verdict="cut",
+                                 truth="attack", atr="ingress2"))
+        _, _, body = _get(server, "/metrics")
+        text = body.decode()
+        assert 'repro_flow_drops_total{flow="11",truth="attack"} 1' in text
+        assert (
+            'repro_atr_verdicts_total{atr="ingress2",verdict="cut"} 1'
+            in text
+        )
+        assert "repro_sse_dropped_events_total 0" in text
+        assert "repro_sse_clients 0" in text
+
+    def test_state_carries_sse_backpressure_stats(self, server):
+        _, _, body = _get(server, "/state")
+        payload = json.loads(body)
+        assert payload["sse"] == {
+            "clients": 0, "published_events": 0, "dropped_events": 0,
+        }
+
+    def test_dashboard_has_drilldown_panels_and_engine_slot(self, server):
+        _, _, body = _get(server, "/")
+        text = body.decode()
+        assert 'id="flows"' in text
+        assert 'id="atrs"' in text
+        assert 'id="engine"' in text
+
 
 class TestSSEBroker:
     def test_serializes_once_and_fans_out(self):
@@ -99,6 +162,25 @@ class TestSSEBroker:
         for i in range(CLIENT_QUEUE_SIZE + 50):
             broker.publish({"i": i})
         assert q.qsize() == CLIENT_QUEUE_SIZE  # newest 50 dropped
+        assert broker.dropped_events == 50
+        assert broker.published_events == CLIENT_QUEUE_SIZE + 50
+        stats = broker.stats()
+        assert stats["clients"] == 1
+        assert stats["dropped_events"] == 50
+
+    def test_drops_counted_per_client(self):
+        """Two clients, one drained: only the stuck one loses events."""
+        from repro.obs.serve import CLIENT_QUEUE_SIZE
+
+        broker = SSEBroker()
+        stuck = broker.register()
+        drained = broker.register()
+        for i in range(CLIENT_QUEUE_SIZE + 10):
+            broker.publish({"i": i})
+            while not drained.empty():
+                drained.get_nowait()
+        assert stuck.qsize() == CLIENT_QUEUE_SIZE
+        assert broker.dropped_events == 10
 
     def test_close_poisons_current_and_future_clients(self):
         broker = SSEBroker()
@@ -185,3 +267,157 @@ class TestServeEndToEnd:
         assert proc.returncode == 0, out
         assert "Traceback" not in out
         assert "shutting down" in out
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.mark.slow
+class TestRecordReplayEndToEnd:
+    def test_replay_serves_a_recorded_run(self, tmp_path):
+        env = _cli_env()
+        recording = tmp_path / "flight.jsonl.gz"
+        run = subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             "--flows", "10", "--routers", "8", "--duration", "2",
+             "--seed", "3", "--record", str(recording)],
+            capture_output=True, text=True, env=env, cwd=tmp_path,
+            timeout=120,
+        )
+        assert run.returncode == 0, run.stdout + run.stderr
+        assert recording.exists()
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "replay", str(recording),
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=tmp_path,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving on http://" in banner
+            port = int(banner.split("http://", 1)[1].split("/")[0]
+                       .rsplit(":", 1)[1])
+            deadline = time.monotonic() + 30
+            state = None
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/state", timeout=5
+                ) as response:
+                    state = json.loads(response.read())
+                if state["phase"] == "lingering":
+                    break
+                time.sleep(0.1)
+            assert state["phase"] == "lingering"
+            assert state["mode"] == "replay"
+            assert state["events_replayed"] > 0
+            # The dead run serves like a live one: full aggregates,
+            # drill-downs, Prometheus.
+            assert state["live"]["runs_completed"] == 1
+            assert state["live"]["verdicts_total"]
+            assert state["live"]["engine_build"] in ("compiled", "pure")
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/flows", timeout=5
+            ) as response:
+                flows = json.loads(response.read())
+            assert flows["tracked_flows"] > 0
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                assert b"repro_flow_drops_total" in response.read()
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "Traceback" not in out
+
+
+@pytest.mark.slow
+class TestWorkerMultiplexing:
+    """The multi-worker serve protocol, one layer below HTTP."""
+
+    def _spec_file(self, tmp_path):
+        from tests.campaign.conftest import tiny_spec
+
+        spec = tiny_spec(name="worker-mux", seeds=(1, 2))
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return spec, path
+
+    def _prepare_store(self, spec, root):
+        from repro.campaign.orchestrator import open_store
+
+        store = open_store(spec, root).ensure()
+        store.pin_series_bin_width(0.05)
+        store.write_manifest(spec.to_dict(), series_bin_width=0.05)
+        return store
+
+    def test_worker_artifacts_match_batch_except_timing(self, tmp_path):
+        from repro.campaign.orchestrator import run_campaign
+        from repro.obs.events import event_from_dict
+
+        spec, spec_path = self._spec_file(tmp_path)
+        run_campaign(spec, root=tmp_path / "batch", jobs=1)
+
+        store = self._prepare_store(spec, tmp_path / "mux")
+        run_ids = [run.run_id for run in spec.plan()]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.worker"],
+            input=json.dumps({
+                "spec_path": str(spec_path),
+                "root": str(tmp_path / "mux"),
+                "series_bin_width": 0.05,
+                "run_ids": run_ids,
+            }),
+            capture_output=True, text=True, env=_cli_env(),
+            cwd=tmp_path, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        # stdout is a pure JSON-line event stream the parent can demux.
+        events = [
+            event_from_dict(json.loads(line))
+            for line in proc.stdout.splitlines() if line.strip()
+        ]
+        assert all(event is not None for event in events)
+        kinds = {event.kind for event in events}
+        assert "campaign.run" in kinds
+        assert "run.completed" in kinds
+        done = [e for e in events if e.kind == "campaign.run"]
+        assert {e.run_id for e in done} == set(run_ids)
+
+        # Artifacts byte-identical to batch mode, timing key aside.
+        batch_store = (tmp_path / "batch" / spec.name).rglob("*.json")
+        for batch_file in batch_store:
+            mux_file = (
+                tmp_path / "mux" / batch_file.relative_to(tmp_path / "batch")
+            )
+            assert mux_file.exists(), mux_file
+            a = json.loads(batch_file.read_text())
+            b = json.loads(mux_file.read_text())
+            a.pop("timing", None)
+            b.pop("timing", None)
+            assert a == b, batch_file
+
+    def test_worker_rejects_run_ids_outside_the_plan(self, tmp_path):
+        spec, spec_path = self._spec_file(tmp_path)
+        self._prepare_store(spec, tmp_path / "mux")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.worker"],
+            input=json.dumps({
+                "spec_path": str(spec_path),
+                "root": str(tmp_path / "mux"),
+                "run_ids": ["not-a-real-run-id"],
+            }),
+            capture_output=True, text=True, env=_cli_env(),
+            cwd=tmp_path, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "not in the plan" in proc.stderr
