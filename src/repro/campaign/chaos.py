@@ -1,0 +1,158 @@
+"""Crash injection for the fault-tolerance harness (``REPRO_CHAOS``).
+
+The distributed campaign machinery claims cells with lease files and
+writes artifacts atomically precisely so that a worker can die at *any*
+instant without corrupting the store or losing the campaign.  This
+module makes "any instant" testable: code on the worker's critical path
+calls :func:`chaos_point` with a named point, and when the
+``REPRO_CHAOS`` environment variable arms that point, the process
+SIGKILLs itself there — the same uncatchable, no-cleanup death a
+machine crash or OOM kill delivers (``atexit`` handlers, ``finally``
+blocks, and buffered writes all get no say).
+
+``REPRO_CHAOS`` is a comma-separated list of ``point:probability``
+pairs::
+
+    REPRO_CHAOS="claim:0.2,run:0.1,write:1.0" python -m repro.campaign.worker ...
+
+Named points on the worker path (a probability of ``1.0`` makes the
+first visit fatal, which is how the targeted tests pin exact torn
+states):
+
+==========  ==========================================================
+point       the process dies ...
+==========  ==========================================================
+claim       right after creating its lease file, before executing
+run         mid-simulation (on a monitor epoch), cell half-executed
+result      after the run completed, before any artifact write
+write       between the series-sidecar write and the summary write
+index       after the summary landed, before its index row appended
+==========  ==========================================================
+
+Every point is checked through the same function, so new checkpoints
+cost one line at the call site.  When ``REPRO_CHAOS`` is unset (the
+only state production code ever runs in) the check is one cached
+global read.
+
+``REPRO_CHAOS_SEED`` makes the coin flips deterministic per process:
+the RNG is seeded from it plus ``REPRO_WORKER_ID`` (set by the pool
+parent for every worker it spawns), so a fleet of workers dies at
+reproducible — but per-worker distinct — points.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import sys
+
+#: Environment variable arming the harness: ``point:prob,point:prob``.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Optional determinism: seeds the per-process coin-flip stream.
+SEED_ENV_VAR = "REPRO_CHAOS_SEED"
+
+#: Worker identity mixed into the seed (set by the pool parent).
+WORKER_ENV_VAR = "REPRO_WORKER_ID"
+
+
+class ChaosSpecError(ValueError):
+    """A ``REPRO_CHAOS`` value that cannot be parsed."""
+
+
+def parse_chaos_spec(text: str) -> dict[str, float]:
+    """Parse ``"claim:0.2,write:1.0"`` into ``{point: probability}``."""
+    spec: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        point, sep, prob_text = part.partition(":")
+        point = point.strip()
+        if not sep or not point:
+            raise ChaosSpecError(
+                f"bad {ENV_VAR} entry {part!r}: want 'point:probability'"
+            )
+        try:
+            prob = float(prob_text)
+        except ValueError:
+            raise ChaosSpecError(
+                f"bad {ENV_VAR} probability {prob_text!r} for point "
+                f"{point!r}"
+            ) from None
+        if not 0.0 <= prob <= 1.0:
+            raise ChaosSpecError(
+                f"{ENV_VAR} probability for {point!r} must be in [0, 1], "
+                f"got {prob}"
+            )
+        spec[point] = prob
+    return spec
+
+
+#: ``None`` = environment not read yet; ``False`` = chaos disabled;
+#: else ``(spec, rng)``.  Parsed once per process — workers are spawned
+#: with the environment already set.  Tests that flip the environment
+#: in-process call :func:`reload_chaos`.
+_state: tuple[dict[str, float], random.Random] | bool | None = None
+
+
+def _load() -> tuple[dict[str, float], random.Random] | bool:
+    global _state
+    text = os.environ.get(ENV_VAR, "").strip()
+    if not text:
+        _state = False
+        return _state
+    spec = parse_chaos_spec(text)
+    if not spec:
+        _state = False
+        return _state
+    seed_text = os.environ.get(SEED_ENV_VAR)
+    if seed_text is None:
+        rng = random.Random()
+    else:
+        # Deterministic per worker, distinct across workers.
+        rng = random.Random(
+            f"{seed_text}:{os.environ.get(WORKER_ENV_VAR, '')}"
+        )
+    _state = (spec, rng)
+    return _state
+
+
+def reload_chaos() -> None:
+    """Forget the cached spec so the next check re-reads the environment."""
+    global _state
+    _state = None
+
+
+def chaos_active(point: str | None = None) -> bool:
+    """True when chaos is armed (for ``point``, if given)."""
+    state = _state if _state is not None else _load()
+    if not state:
+        return False
+    spec, _ = state
+    return bool(spec) if point is None else spec.get(point, 0.0) > 0.0
+
+
+def chaos_point(point: str) -> None:
+    """Die here with probability ``REPRO_CHAOS[point]`` (else no-op).
+
+    Death is ``SIGKILL`` to our own pid: no exception propagates, no
+    ``finally`` runs, no buffer flushes — exactly the failure the
+    recovery machinery must survive.  A one-line notice goes to stderr
+    first (unbuffered write, best effort) so test logs show where the
+    harness struck.
+    """
+    state = _state if _state is not None else _load()
+    if not state:
+        return
+    spec, rng = state
+    prob = spec.get(point, 0.0)
+    if prob <= 0.0 or (prob < 1.0 and rng.random() >= prob):
+        return
+    try:
+        sys.stderr.write(f"chaos: SIGKILL at point {point!r}\n")
+        sys.stderr.flush()
+    except Exception:  # pragma: no cover - stderr already gone
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)

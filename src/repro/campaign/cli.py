@@ -3,24 +3,35 @@
 ::
 
     python -m repro campaign run     spec.toml [--root DIR] [--jobs N]
+                                     [--distributed] [--retry-failed] ...
     python -m repro campaign resume  spec.toml [--root DIR] [--jobs N]
     python -m repro campaign status  spec.toml [--root DIR]
+    python -m repro campaign workers spec.toml [--root DIR]
     python -m repro campaign report  spec.toml [--json F] [--csv F]
     python -m repro campaign figures spec.toml [--root DIR] [--out DIR]
     python -m repro campaign gc      spec.toml [--root DIR] [--apply]
     python -m repro campaign migrate <store-dir>
+    python -m repro campaign diff    <store-A> <store-B> [--tolerance X]
 
 ``run`` and ``resume`` are the same operation — plan, skip every run
 whose artifact exists, execute the rest — except that ``resume`` insists
 the store already exists (catching a mistyped ``--root`` before it
-silently recomputes everything).  ``status`` exits 0 only when the
-campaign is complete, so CI can gate on it.  ``figures`` regenerates
-the campaign's figure set from stored artifacts without re-simulating;
-``gc`` prunes unplanned artifacts, orphaned sidecars, and leftover
-temp files (dry-run unless ``--apply``); ``migrate`` rewrites a
-schema-1 store into the sharded sidecar layout in place — it takes the
-store *directory*, not a spec, since old stores may outlive their spec
-files.
+silently recomputes everything).  ``--distributed`` swaps the in-process
+wave executor for the worker-pull pool (:mod:`repro.campaign.pool`):
+``--jobs`` lease-coordinated worker processes that survive any of them
+dying, with per-cell timeouts, retry/backoff, and quarantine;
+``--retry-failed`` clears the quarantine ledger first.  ``status``
+exits 0 only when the campaign is complete, so CI can gate on it;
+``workers`` shows the live leases and the failure ledger.  ``figures``
+regenerates the campaign's figure set from stored artifacts without
+re-simulating; ``gc`` prunes unplanned artifacts, orphaned sidecars,
+stale leases, resolved failure records, and leftover temp files
+(dry-run unless ``--apply``); ``migrate`` rewrites a schema-1 store
+into the sharded sidecar layout (and rebuilds ``index.jsonl``) in
+place — it takes the store *directory*, not a spec, since old stores
+may outlive their spec files.  ``diff`` compares two stores cell by
+cell and exits 1 on any difference — the CI teeth behind "chaos +
+resume is byte-identical to serial".
 """
 
 from __future__ import annotations
@@ -39,7 +50,12 @@ from repro.campaign.orchestrator import (
 )
 from repro.campaign.query import campaign_figures, campaign_report, report_rows
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import StoreError, migrate_store
+from repro.campaign.store import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    StoreError,
+    migrate_store,
+)
 from repro.util.registry import UnknownComponentError
 
 
@@ -89,9 +105,45 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
             "per executed cell plus progress) to a JSONL flight "
             "recording for 'python -m repro replay'",
         )
+        p.add_argument(
+            "--distributed", action="store_true",
+            help="execute via the worker-pull pool (lease files, "
+            "retry/backoff, quarantine) instead of in-process waves",
+        )
+        p.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="S",
+            help="distributed: heartbeat TTL before a worker's lease "
+            "counts as dead (default: 15s)",
+        )
+        p.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="S",
+            help="distributed: kill a worker whose cell runs longer "
+            "than S seconds (the attempt is charged to the ledger)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=None, metavar="K",
+            help="distributed: failed attempts before a cell is "
+            "quarantined (default: 3)",
+        )
+        p.add_argument(
+            "--retry-failed", action="store_true",
+            help="clear the failure ledger first, so quarantined cells "
+            "are attempted again",
+        )
+        p.add_argument(
+            "--compress-series", action="store_true",
+            help="write gzip series sidecars from now on (recorded in "
+            "the manifest; existing plain sidecars stay readable)",
+        )
 
     p = csub.add_parser(
         "status", help="planned vs completed runs (exit 1 if incomplete)"
+    )
+    common(p)
+
+    p = csub.add_parser(
+        "workers",
+        help="show live worker leases and the failure/quarantine ledger",
     )
     common(p)
 
@@ -128,20 +180,39 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
 
     p = csub.add_parser(
         "migrate",
-        help="rewrite a schema-1 store into the sharded sidecar layout",
+        help="rewrite a schema-1 store into the sharded sidecar layout "
+        "(and rebuild index.jsonl)",
     )
     p.add_argument(
         "store_dir",
         help="campaign store directory (e.g. campaigns/<name>)",
     )
 
+    p = csub.add_parser(
+        "diff",
+        help="compare two stores cell-by-cell (exit 1 on differences)",
+    )
+    p.add_argument("store_a", help="first campaign store directory")
+    p.add_argument("store_b", help="second campaign store directory")
+    p.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="X",
+        help="absolute tolerance for numeric fields (default: 0.0 — "
+        "bit-exact, the determinism contract)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="print at most N differences (default: 20)",
+    )
+
 
 def cmd(args: argparse.Namespace) -> int:
     """Dispatch a parsed ``campaign`` invocation; returns the exit code."""
-    if args.campaign_command == "migrate":
-        # The one spec-less verb: it operates on a store directory.
+    if args.campaign_command in ("migrate", "diff"):
+        # The spec-less verbs: they operate on store directories.
         try:
-            return _cmd_migrate(args)
+            if args.campaign_command == "migrate":
+                return _cmd_migrate(args)
+            return _cmd_diff(args)
         except StoreError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -169,6 +240,8 @@ def cmd(args: argparse.Namespace) -> int:
                 return 130
         if args.campaign_command == "status":
             return _cmd_status(spec, args)
+        if args.campaign_command == "workers":
+            return _cmd_workers(spec, args)
         if args.campaign_command == "figures":
             return _cmd_figures(spec, args)
         if args.campaign_command == "gc":
@@ -211,8 +284,23 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    def on_worker(event) -> None:
+        if event.kind == "worker.started":
+            print(
+                f"  worker {event.worker} up (pid {event.pid})", flush=True
+            )
+        elif event.kind == "worker.died":
+            print(
+                f"  worker {event.worker} died ({event.reason}, "
+                f"exit {event.exitcode}); its lease will be reclaimed",
+                flush=True,
+            )
+
     bus = EventBus()
     bus.subscribe(CallbackSink(on_run), kinds=("campaign.run",))
+    bus.subscribe(
+        CallbackSink(on_worker), kinds=("worker.started", "worker.died")
+    )
     recorder = None
     if args.record:
         from repro.obs.recorder import JsonlSink
@@ -225,16 +313,68 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
         bus.subscribe(recorder)
 
     try:
-        report = run_campaign(
-            spec,
-            root=args.root,
-            jobs=args.jobs,
-            max_runs=args.max_runs,
-            wave_size=args.wave,
-            progress=progress,
-            bus=bus,
-            profile_path=profile_path,
-        )
+        if args.distributed:
+            from repro.campaign.pool import run_distributed
+
+            if profile_path is not None:
+                print(
+                    "error: --profile is a serial-mode switch (it "
+                    "profiles one in-process cell); drop --distributed",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.max_runs is not None or args.wave is not None:
+                print(
+                    "error: --max-runs/--wave shape in-process waves; "
+                    "workers pull cells one at a time — drop them or "
+                    "drop --distributed",
+                    file=sys.stderr,
+                )
+                return 2
+            report = run_distributed(
+                spec,
+                root=args.root,
+                jobs=args.jobs,
+                compress_series=args.compress_series or None,
+                retry_failed=args.retry_failed,
+                lease_ttl=(
+                    args.lease_ttl if args.lease_ttl is not None
+                    else DEFAULT_LEASE_TTL
+                ),
+                cell_timeout=args.cell_timeout,
+                max_attempts=(
+                    args.max_attempts if args.max_attempts is not None
+                    else DEFAULT_MAX_ATTEMPTS
+                ),
+                bus=bus,
+            )
+        else:
+            for flag, value in (
+                ("--lease-ttl", args.lease_ttl),
+                ("--cell-timeout", args.cell_timeout),
+                ("--max-attempts", args.max_attempts),
+            ):
+                if value is not None:
+                    print(
+                        f"error: {flag} only applies with --distributed",
+                        file=sys.stderr,
+                    )
+                    return 2
+            if args.retry_failed:
+                cleared = open_store(spec, args.root).ensure().clear_failures()
+                if cleared:
+                    print(f"  cleared {cleared} failure records")
+            report = run_campaign(
+                spec,
+                root=args.root,
+                jobs=args.jobs,
+                max_runs=args.max_runs,
+                wave_size=args.wave,
+                progress=progress,
+                bus=bus,
+                profile_path=profile_path,
+                compress_series=args.compress_series or None,
+            )
     finally:
         if recorder is not None:
             recorder.close()
@@ -248,6 +388,19 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
         f"{'s' if report.jobs != 1 else ''}) -> {state}"
     )
     print(f"store: {report.store_dir}")
+    if report.deaths:
+        print(
+            f"  {report.deaths} worker deaths survived "
+            "(leases reclaimed, cells re-executed)"
+        )
+    if report.quarantined:
+        print(
+            f"warning: {report.quarantined} cells quarantined after "
+            "repeated failures — inspect with 'campaign workers "
+            f"{args.spec} --root {args.root}', retry with "
+            "'--retry-failed'",
+            file=sys.stderr,
+        )
     if report.interrupted:
         print(
             f"interrupted: {report.executed} new artifacts are on disk; "
@@ -256,15 +409,20 @@ def _cmd_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 130
+    if args.distributed and not report.complete:
+        return 1
     return 0
 
 
 def _cmd_status(spec: CampaignSpec, args: argparse.Namespace) -> int:
     status = campaign_status(spec, args.root)
+    quarantined = (
+        f", {status.quarantined} quarantined" if status.quarantined else ""
+    )
     print(
         f"campaign {status.name}: {status.complete}/{status.planned} "
         f"runs complete ({len(status.missing)} missing, "
-        f"{status.unplanned} unplanned artifacts)"
+        f"{status.unplanned} unplanned artifacts{quarantined})"
     )
     for run in status.missing[:10]:
         point = ", ".join(f"{k}={v}" for k, v in run.point.items()) or "-"
@@ -272,6 +430,83 @@ def _cmd_status(spec: CampaignSpec, args: argparse.Namespace) -> int:
     if len(status.missing) > 10:
         print(f"  ... and {len(status.missing) - 10} more")
     return 0 if status.is_complete else 1
+
+
+def _cmd_workers(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    import time
+
+    store = open_store(spec, args.root)
+    if not store.exists():
+        print(
+            f"error: no store for campaign {spec.name!r} under "
+            f"{args.root!r}",
+            file=sys.stderr,
+        )
+        return 2
+    now = time.time()
+    leases = store.iter_leases()
+    print(f"campaign {spec.name}: {len(leases)} leases")
+    for lease in leases:
+        state = "EXPIRED" if lease.expired(now) else "live"
+        age = now - lease.heartbeat_at
+        print(
+            f"  {lease.run_id}  {lease.worker}  pid={lease.pid} "
+            f"host={lease.host}  heartbeat {age:.1f}s ago "
+            f"(ttl {lease.ttl:.0f}s) [{state}]"
+        )
+    failures = store.iter_failures()
+    print(f"failure ledger: {len(failures)} records")
+    for record in failures:
+        state = (
+            "QUARANTINED" if record.quarantined
+            else f"retry in {max(0.0, record.next_retry_at - now):.1f}s"
+        )
+        error = record.error.splitlines()[0] if record.error else "?"
+        print(
+            f"  {record.run_id}  attempts "
+            f"{record.attempts}/{record.max_attempts} [{state}] "
+            f"last worker {record.worker}: {error}"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.campaign.diff import diff_stores
+
+    diff = diff_stores(args.store_a, args.store_b, tolerance=args.tolerance)
+    for label, ids in (
+        (f"only in {diff.dir_a}", diff.missing_in_b),
+        (f"only in {diff.dir_b}", diff.missing_in_a),
+    ):
+        for run_id in ids[: args.limit]:
+            print(f"  {label}: {run_id}")
+        if len(ids) > args.limit:
+            print(f"  ... and {len(ids) - args.limit} more {label}")
+    for delta in diff.differing[: args.limit]:
+        print(
+            f"  {delta.run_id}  {delta.field}: "
+            f"{delta.a!r} != {delta.b!r}"
+        )
+    if len(diff.differing) > args.limit:
+        print(f"  ... and {len(diff.differing) - args.limit} more deltas")
+    n_issues = (
+        len(diff.missing_in_a) + len(diff.missing_in_b)
+        + len(diff.differing)
+    )
+    if diff.identical:
+        print(
+            f"diff: {diff.compared} common cells identical "
+            f"(tolerance {args.tolerance})"
+        )
+        return 0
+    print(
+        f"diff: {n_issues} differences across {diff.compared} common "
+        f"cells ({len(diff.missing_in_b)} missing in B, "
+        f"{len(diff.missing_in_a)} extra in B, "
+        f"{len(diff.differing)} field deltas)",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_report(spec: CampaignSpec, args: argparse.Namespace) -> int:
@@ -344,6 +579,8 @@ def _cmd_gc(spec: CampaignSpec, args: argparse.Namespace) -> int:
         ("unplanned artifact", report.unplanned),
         ("orphan sidecar", report.orphan_sidecars),
         ("temp file", report.tmp_files),
+        ("stale lease", report.stale_leases),
+        ("resolved failure record", report.resolved_failures),
     ):
         for path in sorted(paths):
             verb = "deleted" if report.applied else "would delete"
@@ -364,7 +601,8 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     print(
         f"migrated {report.migrated} artifacts to the schema-2 sharded "
         f"sidecar layout ({report.already_current} already current) "
-        f"in {report.store_dir}"
+        f"in {report.store_dir}; index.jsonl rebuilt "
+        f"({report.index_rows} rows)"
     )
     return 0
 

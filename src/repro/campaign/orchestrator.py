@@ -41,6 +41,11 @@ class CampaignRunReport:
     #: True when Ctrl-C cut the invocation short.  Artifacts filed
     #: before the interrupt are on disk; ``resume`` picks up the rest.
     interrupted: bool = False
+    #: Distributed mode only: cells quarantined by the failure ledger
+    #: (attempts exhausted) and abnormal worker deaths observed.  Serial
+    #: execution raises on the first failure instead, so both stay 0.
+    quarantined: int = 0
+    deaths: int = 0
 
     @property
     def complete(self) -> bool:
@@ -60,6 +65,9 @@ class CampaignStatus:
     #: Artifacts on disk that the current spec no longer plans (stale
     #: axis points, or runs from a previous spec revision).
     unplanned: int = 0
+    #: Missing cells the failure ledger has quarantined (distributed
+    #: workers exhausted their attempts; see ``--retry-failed``).
+    quarantined: int = 0
 
     @property
     def is_complete(self) -> bool:
@@ -80,6 +88,7 @@ def campaign_status(
     on_disk = store.run_ids()
     planned_ids = {run.run_id for run in plan}
     missing = [run for run in plan if run.run_id not in on_disk]
+    missing_ids = {run.run_id for run in missing}
     return CampaignStatus(
         name=spec.name,
         store_dir=store.directory,
@@ -87,6 +96,7 @@ def campaign_status(
         complete=len(plan) - len(missing),
         missing=missing,
         unplanned=len(on_disk - planned_ids),
+        quarantined=len(missing_ids & store.quarantined_ids()),
     )
 
 
@@ -127,6 +137,7 @@ def run_campaign(
     progress: Callable[[int, int], None] | None = None,
     bus=None,
     profile_path: str | None = None,
+    compress_series: bool | None = None,
 ) -> CampaignRunReport:
     """Execute (or resume) a campaign; returns what happened.
 
@@ -158,7 +169,11 @@ def run_campaign(
         jobs, max_runs = 1, 1
     store = open_store(spec, root).ensure()
     store.pin_series_bin_width(series_bin_width)
-    store.write_manifest(spec.to_dict(), series_bin_width=series_bin_width)
+    store.write_manifest(
+        spec.to_dict(),
+        series_bin_width=series_bin_width,
+        compress_series=compress_series,
+    )
 
     plan = spec.plan()
     on_disk = store.run_ids()  # one readdir, not one stat() per run

@@ -1,0 +1,307 @@
+"""The worker pool: N ``repro.campaign.worker`` processes, one store.
+
+:func:`run_pool` spawns ``jobs`` worker subprocesses against a prepared
+campaign store and babysits them: each worker pulls cells by lease
+(:mod:`repro.campaign.worker`), streams its events as JSON lines on
+stdout (decoded back onto the parent's bus, so ``serve --campaign``
+shows the whole fleet), and exits 0 when nothing claimable remains.  A
+worker that dies any other way — SIGKILLed, OOMed, cell-timeout
+``os._exit``, crashed — is *respawned* (up to a bounded budget) after
+a ``worker.died`` event; its lease expires and the replacement reclaims
+the cell.  The pool never re-executes finished work: claims and resume
+both key on the content-addressed artifacts.
+
+With ``jobs=1`` this degrades gracefully to serial execution with one
+worker — same artifacts, same report, just no overlap.  The same
+degradation covers N *hosts* on a shared filesystem: every host runs
+``python -m repro.campaign.worker <store>`` and the leases coordinate
+them with no parent at all; :func:`run_pool` is just the single-host
+convenience wrapper.
+
+:func:`run_distributed` is the ``campaign run --distributed`` entry:
+prepare the store (manifest, series-bin pin, optional ``--retry-failed``
+ledger clear), run the pool, and fold the outcome into the same
+:class:`~repro.campaign.orchestrator.CampaignRunReport` the serial
+orchestrator returns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.chaos import WORKER_ENV_VAR
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    CampaignStore,
+    StoreError,
+)
+from repro.campaign.worker import EXIT_CELL_TIMEOUT
+
+#: Poll cadence of the babysitting loop (worker exits, respawn checks).
+_POLL = 0.05
+
+
+@dataclass
+class WorkerExit:
+    """One worker process's final state."""
+
+    worker: str
+    exitcode: int
+    reason: str  # "drained" | "signal" | "timeout" | "error"
+
+
+@dataclass
+class PoolReport:
+    """What one :func:`run_pool` invocation did."""
+
+    store_dir: Path
+    jobs: int
+    planned: int
+    cached: int        # artifacts that already existed when the pool started
+    executed: int = 0  # new artifacts on disk when the pool finished
+    quarantined: int = 0
+    deaths: int = 0    # abnormal worker exits observed
+    respawns: int = 0
+    wall_seconds: float = 0.0
+    interrupted: bool = False
+    exits: list[WorkerExit] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.cached + self.executed == self.planned
+
+
+def run_pool(
+    store_dir,
+    jobs: int | None = None,
+    *,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    cell_timeout: float | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    respawn_limit: int | None = None,
+    bus=None,
+    env: dict | None = None,
+) -> PoolReport:
+    """Run worker subprocesses until the campaign drains; returns what
+    happened.
+
+    ``respawn_limit`` bounds replacements for abnormally dead workers
+    (default ``max(4, 2 * jobs)``) — with the chaos harness armed at
+    probability 1.0 every replacement dies too, and the bound turns
+    that into "pool returns incomplete" instead of a fork bomb.
+    ``env`` overlays the workers' environment (tests inject
+    ``REPRO_CHAOS`` here); every worker also gets ``REPRO_WORKER_ID``
+    set to its name so chaos streams are per-worker deterministic.
+    """
+    started = time.perf_counter()
+    store = CampaignStore(store_dir)
+    if not store.exists():
+        raise StoreError(f"no campaign store at {store.directory}")
+    spec = CampaignSpec.from_dict(store.read_manifest())
+    planned_ids = {run.run_id for run in spec.plan()}
+    cached = len(store.run_ids() & planned_ids)
+
+    from repro.experiments.parallel import default_jobs
+
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if respawn_limit is None:
+        respawn_limit = max(4, 2 * jobs)
+
+    report = PoolReport(
+        store_dir=store.directory,
+        jobs=jobs,
+        planned=len(planned_ids),
+        cached=cached,
+    )
+    if cached == len(planned_ids):  # nothing to do; don't spawn anything
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def remaining_claimable() -> int:
+        missing = planned_ids - store.run_ids()
+        return len(missing - store.quarantined_ids())
+
+    def spawn(name: str) -> tuple[str, subprocess.Popen, threading.Thread]:
+        cmd = [
+            sys.executable, "-m", "repro.campaign.worker",
+            str(store.directory),
+            "--worker", name,
+            "--events",
+            "--lease-ttl", str(lease_ttl),
+            "--max-attempts", str(max_attempts),
+        ]
+        if cell_timeout is not None:
+            cmd += ["--cell-timeout", str(cell_timeout)]
+        worker_env = dict(os.environ)
+        if env:
+            worker_env.update(env)
+        worker_env[WORKER_ENV_VAR] = name
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, text=True, env=worker_env
+        )
+        reader = threading.Thread(
+            target=_drain_events, args=(proc.stdout, bus),
+            name=f"pool-reader-{name}", daemon=True,
+        )
+        reader.start()
+        return name, proc, reader
+
+    alive = [spawn(f"w{i}") for i in range(jobs)]
+    try:
+        while alive:
+            time.sleep(_POLL)
+            still = []
+            for name, proc, reader in alive:
+                rc = proc.poll()
+                if rc is None:
+                    still.append((name, proc, reader))
+                    continue
+                reader.join(timeout=5.0)
+                exit_info = _classify_exit(name, rc)
+                report.exits.append(exit_info)
+                if exit_info.reason == "drained":
+                    continue
+                report.deaths += 1
+                if bus:
+                    _emit_worker_died(bus, exit_info)
+                if report.respawns < respawn_limit \
+                        and remaining_claimable() > 0:
+                    report.respawns += 1
+                    still.append(
+                        spawn(f"{name.split('-')[0]}-{report.respawns}")
+                    )
+            alive = still
+    except KeyboardInterrupt:
+        report.interrupted = True
+        for _, proc, _ in alive:
+            proc.terminate()
+        for _, proc, reader in alive:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            reader.join(timeout=5.0)
+
+    report.executed = len(store.run_ids() & planned_ids) - cached
+    report.quarantined = len(
+        (planned_ids - store.run_ids()) & store.quarantined_ids()
+    )
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def run_distributed(
+    spec: CampaignSpec,
+    root=None,
+    jobs: int | None = None,
+    series_bin_width: float = 0.05,
+    *,
+    compress_series: bool | None = None,
+    retry_failed: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    cell_timeout: float | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    respawn_limit: int | None = None,
+    bus=None,
+):
+    """``campaign run --distributed``: prepare the store, run the pool.
+
+    Returns the same :class:`CampaignRunReport` shape as the serial
+    :func:`~repro.campaign.orchestrator.run_campaign`, so the CLI (and
+    anything scripting it) treats the two modes interchangeably.
+    """
+    from repro.campaign.orchestrator import (
+        DEFAULT_ROOT,
+        CampaignRunReport,
+        open_store,
+    )
+
+    store = open_store(spec, DEFAULT_ROOT if root is None else root).ensure()
+    store.pin_series_bin_width(series_bin_width)
+    store.write_manifest(
+        spec.to_dict(),
+        series_bin_width=series_bin_width,
+        compress_series=compress_series,
+    )
+    if retry_failed:
+        store.clear_failures()
+    pool = run_pool(
+        store.directory,
+        jobs=jobs,
+        lease_ttl=lease_ttl,
+        cell_timeout=cell_timeout,
+        max_attempts=max_attempts,
+        respawn_limit=respawn_limit,
+        bus=bus,
+    )
+    return CampaignRunReport(
+        name=spec.name,
+        store_dir=store.directory,
+        planned=pool.planned,
+        cached=pool.cached,
+        executed=pool.executed,
+        jobs=pool.jobs,
+        wall_seconds=pool.wall_seconds,
+        interrupted=pool.interrupted,
+        quarantined=pool.quarantined,
+        deaths=pool.deaths,
+    )
+
+
+def _drain_events(stream, bus) -> None:
+    """Decode one worker's stdout protocol back onto the parent bus.
+
+    Always runs to EOF even with no bus attached: the workers block on
+    a full pipe otherwise.  Undecodable lines are dropped — a worker
+    SIGKILLed mid-line (the chaos harness guarantees some) leaves a
+    torn fragment, and losing one advisory event is the correct cost.
+    """
+    from repro.obs.events import event_from_dict
+
+    try:
+        for line in stream:
+            if not bus:
+                continue
+            try:
+                event = event_from_dict(json.loads(line))
+            except (json.JSONDecodeError, TypeError):
+                continue
+            if event is not None:
+                bus.emit(event)
+    finally:
+        try:
+            stream.close()
+        except OSError:
+            pass
+
+
+def _classify_exit(name: str, rc: int) -> WorkerExit:
+    from repro.campaign.worker import EXIT_DRAINED_QUARANTINE
+
+    if rc in (0, EXIT_DRAINED_QUARANTINE):
+        reason = "drained"
+    elif rc == EXIT_CELL_TIMEOUT:
+        reason = "timeout"
+    elif rc < 0:
+        reason = "signal"
+    else:
+        reason = "error"
+    return WorkerExit(worker=name, exitcode=rc, reason=reason)
+
+
+def _emit_worker_died(bus, exit_info: WorkerExit) -> None:
+    from repro.obs.events import WorkerDied
+
+    bus.emit(WorkerDied(
+        time=0.0, worker=exit_info.worker, reason=exit_info.reason,
+        exitcode=exit_info.exitcode,
+    ))

@@ -54,14 +54,40 @@ def _load_planned(
     where: Callable[[StoredRun], bool] | None = None,
     with_series: bool = True,
 ) -> tuple[int, list[StoredRun]]:
-    """(planned-cell count, completed runs) computed from ONE plan pass."""
+    """(planned-cell count, completed runs) computed from ONE plan pass.
+
+    Summary-only loads (``with_series=False``) go through ``index.jsonl``
+    when a row is available: one sequential file read replaces one JSON
+    document per artifact, which is what keeps ``status``/``report`` on
+    a >10k-run grid flat.  Membership is still decided by the artifacts
+    on disk (one readdir), so a stale index row — its artifact gc'd or
+    hand-deleted — can never resurrect a run; a missing or torn row,
+    or one whose recorded artifact size no longer matches the file on
+    disk, just falls back to reading that artifact.
+    """
     store = open_store(spec, root)
     plan = spec.plan()
     runs: list[StoredRun] = []
+    on_disk = store.run_ids()  # one readdir; the artifact is the truth
+    index = store.read_index() if not with_series else {}
     for planned in plan:
-        if not store.has(planned.run_id):
+        if planned.run_id not in on_disk:
             continue
-        run = store.read_run(planned.run_id, load_series=with_series)
+        row = index.get(planned.run_id)
+        if row is not None and store.index_row_fresh(row):
+            try:
+                run = store.run_from_index_row(
+                    row, planned.config, planned.point
+                )
+            except (KeyError, TypeError):
+                # A row from an older index shape: fall back to the
+                # artifact rather than guessing at missing fields.
+                run = store.read_run(planned.run_id, load_series=False)
+        else:
+            # No row, a pre-size row, or a size mismatch (artifact
+            # replaced/truncated since the row was appended): read the
+            # artifact so corruption surfaces instead of being masked.
+            run = store.read_run(planned.run_id, load_series=with_series)
         # The point comes from the *current* plan, not the artifact:
         # artifacts written by an older spec revision (or by an ad-hoc
         # cached batch, which stores point={}) carry stale/absent axis

@@ -24,6 +24,9 @@ run.started         run_experiment, after scenario build
 run.completed       run_experiment, with the headline summary
 campaign.run        orchestrator, one per freshly executed cell
 campaign.progress   orchestrator, after every filed wave
+worker.started      pool worker, once per process after store open
+worker.heartbeat    pool worker, alongside each lease re-stamp
+worker.died         pool parent, when a worker exits abnormally
 ==================  ====================================================
 """
 
@@ -220,6 +223,48 @@ class CampaignProgress(MetricEvent):
     cached: int
 
 
+@dataclass(slots=True)
+class WorkerStarted(MetricEvent):
+    """A pool worker came up and opened the store (time is 0.0)."""
+
+    kind = "worker.started"
+
+    worker: str
+    pid: int
+    host: str
+    store: str
+    cells: int
+
+
+@dataclass(slots=True)
+class WorkerHeartbeat(MetricEvent):
+    """A worker re-stamped its lease mid-cell: still alive, still on it."""
+
+    kind = "worker.heartbeat"
+
+    worker: str
+    run_id: str
+    elapsed: float
+    executed: int
+
+
+@dataclass(slots=True)
+class WorkerDied(MetricEvent):
+    """The pool parent noticed a worker exit abnormally.
+
+    ``reason`` is ``"signal"`` (killed — SIGKILL, OOM, chaos),
+    ``"timeout"`` (the worker's own cell-timeout watchdog fired) or
+    ``"error"`` (nonzero exit); ``exitcode`` is the raw wait status'
+    returncode (negative = signal number).
+    """
+
+    kind = "worker.died"
+
+    worker: str
+    reason: str
+    exitcode: int
+
+
 #: kind -> event class, for deserializing recorded/multiplexed streams.
 EVENT_TYPES: dict[str, type[MetricEvent]] = {
     cls.kind: cls
@@ -236,6 +281,9 @@ EVENT_TYPES: dict[str, type[MetricEvent]] = {
         RunCompleted,
         CampaignRun,
         CampaignProgress,
+        WorkerStarted,
+        WorkerHeartbeat,
+        WorkerDied,
     )
 }
 

@@ -68,6 +68,9 @@ STREAMED_KINDS: tuple[str, ...] = (
     "run.completed",
     "campaign.run",
     "campaign.progress",
+    "worker.started",
+    "worker.heartbeat",
+    "worker.died",
 )
 
 #: Per-client queue bound; a slow client loses the *newest* events past

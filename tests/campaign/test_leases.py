@@ -1,0 +1,222 @@
+"""Lease claim/expiry/race and failure-ledger edge cases (store level).
+
+These tests drive :class:`CampaignStore`'s coordination primitives with
+explicit ``now`` values — no sleeping, no subprocesses — including the
+edge cases ISSUE 9 names: the expired-lease reclaim race (exactly one
+artifact wins), heartbeat clock skew, and quarantine-then-retry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.orchestrator import campaign_status, open_store
+from repro.campaign.store import (
+    DEFAULT_LEASE_TTL,
+    MAX_FUTURE_SKEW,
+    CampaignStore,
+    Lease,
+)
+
+from tests.campaign.conftest import fabricate_result, tiny_spec
+
+RID = "ab" * 8  # any run_id-shaped string
+
+
+@pytest.fixture
+def store(tmp_path) -> CampaignStore:
+    return CampaignStore(tmp_path / "camp").ensure()
+
+
+class TestClaim:
+    def test_fresh_claim_wins_and_persists(self, store):
+        lease = store.try_claim(RID, "w0", now=100.0)
+        assert lease is not None
+        on_disk = store.read_lease(RID)
+        assert on_disk is not None
+        assert (on_disk.worker, on_disk.token) == ("w0", lease.token)
+
+    def test_live_lease_blocks_second_claim(self, store):
+        assert store.try_claim(RID, "w0", now=100.0) is not None
+        assert store.try_claim(RID, "w1", now=100.0 + 1.0) is None
+
+    def test_expired_lease_is_reclaimed(self, store):
+        first = store.try_claim(RID, "w0", ttl=5.0, now=100.0)
+        second = store.try_claim(RID, "w1", ttl=5.0, now=106.0)
+        assert second is not None
+        assert store.read_lease(RID).worker == "w1"
+        # The dead claimant's handle no longer refreshes or releases.
+        assert store.refresh_lease(first, now=107.0) is False
+        store.release_lease(first)
+        assert store.read_lease(RID).worker == "w1"
+
+    def test_reclaim_race_exactly_one_holder(self, store):
+        """Two workers race for the same expired lease: the read-back
+        arbitration leaves exactly one holding a refreshable claim."""
+        store.try_claim(RID, "w0", ttl=5.0, now=100.0)
+        a = store.try_claim(RID, "w1", ttl=5.0, now=110.0)
+        b = store.try_claim(RID, "w2", ttl=5.0, now=110.0)
+        winners = [x for x in (a, b) if x is not None
+                   and store.refresh_lease(x, now=110.5)]
+        assert len(winners) == 1
+        assert store.read_lease(RID).token == winners[0].token
+
+    def test_reclaim_race_exactly_one_artifact(self, store, spec):
+        """Even when BOTH racers think they won (the documented benign
+        race), duplicate execution files exactly one artifact — runs
+        are deterministic and the rename is atomic."""
+        planned = spec.plan()[0]
+        result = fabricate_result(planned.config)
+        store.try_claim(planned.run_id, "w1", now=100.0)
+        # Both workers execute the cell and write.
+        store.write_result(result, point=planned.point, series_bin_width=0.05)
+        store.write_result(result, point=planned.point, series_bin_width=0.05)
+        paths = [p for p in store.runs_dir.rglob(f"{planned.run_id}.json")]
+        assert len(paths) == 1
+        run = store.read_run(planned.run_id)
+        assert run.summary.accuracy == result.summary.accuracy
+
+    def test_corrupt_lease_treated_as_claimable(self, store):
+        store.leases_dir.mkdir(parents=True, exist_ok=True)
+        store.lease_path(RID).write_text("{not json", encoding="utf-8")
+        assert store.read_lease(RID) is None
+        assert store.try_claim(RID, "w0", now=100.0) is not None
+
+    def test_release_is_token_checked_and_idempotent(self, store):
+        lease = store.try_claim(RID, "w0", now=100.0)
+        store.release_lease(lease)
+        assert store.read_lease(RID) is None
+        store.release_lease(lease)  # second release: no-op, no raise
+
+
+class TestClockSkew:
+    def test_future_heartbeat_within_skew_is_honored(self):
+        lease = Lease(
+            run_id=RID, worker="w0", token="t", pid=1, host="h",
+            acquired_at=0.0, heartbeat_at=100.0 + MAX_FUTURE_SKEW - 1.0,
+            ttl=DEFAULT_LEASE_TTL,
+        )
+        assert not lease.expired(now=100.0)
+
+    def test_absurdly_future_heartbeat_is_stale(self):
+        lease = Lease(
+            run_id=RID, worker="w0", token="t", pid=1, host="h",
+            acquired_at=0.0, heartbeat_at=100.0 + MAX_FUTURE_SKEW + 1.0,
+            ttl=DEFAULT_LEASE_TTL,
+        )
+        assert lease.expired(now=100.0)
+
+    def test_skewed_lease_is_reclaimable(self, store):
+        lease = store.try_claim(RID, "w0", ttl=5.0, now=100.0)
+        lease.heartbeat_at = 100.0 + MAX_FUTURE_SKEW + 60.0
+        store.refresh_lease(lease, now=lease.heartbeat_at)
+        assert store.try_claim(RID, "w1", ttl=5.0, now=100.0) is not None
+
+    def test_heartbeat_refresh_keeps_lease_live(self, store):
+        lease = store.try_claim(RID, "w0", ttl=5.0, now=100.0)
+        for now in (104.0, 108.0, 112.0):
+            assert store.refresh_lease(lease, now=now) is True
+            assert store.try_claim(RID, "w1", ttl=5.0, now=now + 1.0) is None
+
+
+class TestFailureLedger:
+    def test_backoff_grows_exponentially_until_quarantine(self, store):
+        r1 = store.record_failure(RID, "w0", "boom", max_attempts=3,
+                                  backoff_base=0.5, now=100.0)
+        r2 = store.record_failure(RID, "w0", "boom", max_attempts=3,
+                                  backoff_base=0.5, now=101.0)
+        r3 = store.record_failure(RID, "w0", "boom", max_attempts=3,
+                                  backoff_base=0.5, now=102.0)
+        assert (r1.attempts, r2.attempts, r3.attempts) == (1, 2, 3)
+        assert r1.next_retry_at == pytest.approx(100.5)
+        assert r2.next_retry_at == pytest.approx(102.0)
+        assert (r1.quarantined, r2.quarantined, r3.quarantined) == (
+            False, False, True,
+        )
+        assert not r3.retryable(now=1e9)  # quarantine never self-expires
+
+    def test_backoff_is_capped(self, store):
+        record = None
+        for i in range(12):
+            record = store.record_failure(
+                RID, "w0", "boom", max_attempts=99,
+                backoff_base=0.5, backoff_cap=4.0, now=100.0,
+            )
+        assert record.next_retry_at == pytest.approx(104.0)
+
+    def test_retryable_respects_backoff_window(self, store):
+        record = store.record_failure(RID, "w0", "boom", backoff_base=2.0,
+                                      now=100.0)
+        assert not record.retryable(now=101.0)
+        assert record.retryable(now=102.5)
+
+    def test_traceback_travels_with_the_record(self, store):
+        store.record_failure(RID, "w0", "ValueError: boom",
+                             "Traceback (most recent call last): ...",
+                             now=100.0)
+        record = store.read_failure(RID)
+        assert "Traceback" in record.traceback
+        payload = json.loads(
+            store.failure_path(RID).read_text(encoding="utf-8")
+        )
+        assert payload["error"] == "ValueError: boom"
+
+    def test_successful_write_clears_the_record(self, store, spec):
+        planned = spec.plan()[0]
+        store.record_failure(planned.run_id, "w0", "boom", now=100.0)
+        store.write_result(
+            fabricate_result(planned.config),
+            point=planned.point, series_bin_width=0.05,
+        )
+        assert store.read_failure(planned.run_id) is None
+
+    def test_clear_failures_resets_quarantine(self, store):
+        for _ in range(3):
+            store.record_failure(RID, "w0", "boom", max_attempts=3, now=100.0)
+        assert store.quarantined_ids() == {RID}
+        assert store.clear_failures() == 1
+        assert store.quarantined_ids() == set()
+        assert store.iter_failures() == []
+
+
+class TestStatusAndGc:
+    def test_status_counts_quarantined_cells(self, tmp_path, spec):
+        store = open_store(spec, tmp_path).ensure()
+        target = spec.plan()[0]
+        for _ in range(3):
+            store.record_failure(target.run_id, "w0", "boom",
+                                 max_attempts=3, now=100.0)
+        status = campaign_status(spec, tmp_path)
+        assert status.quarantined == 1
+        assert not status.is_complete
+
+    def test_gc_prunes_stale_leases_and_resolved_failures(
+        self, tmp_path, spec
+    ):
+        store = open_store(spec, tmp_path).ensure()
+        done, pending = spec.plan()[0], spec.plan()[1]
+        # A lease + failure record left behind by a worker that died
+        # right after writing its artifact.
+        store.try_claim(done.run_id, "w0")
+        store.record_failure(done.run_id, "w0", "flake", now=0.0)
+        store.write_result(
+            fabricate_result(done.config),
+            point=done.point, series_bin_width=0.05,
+        )
+        store.record_failure(done.run_id, "w0", "flake", now=0.0)
+        # A live lease and a quarantined record for unfinished cells.
+        store.try_claim(pending.run_id, "w1")
+        other = spec.plan()[2]
+        for _ in range(3):
+            store.record_failure(other.run_id, "w1", "boom",
+                                 max_attempts=3, now=0.0)
+        planned_ids = {run.run_id for run in spec.plan()}
+        report = store.gc(planned_ids, apply=True)
+        assert store.lease_path(done.run_id) in report.stale_leases
+        assert store.failure_path(done.run_id) in report.resolved_failures
+        assert store.read_lease(done.run_id) is None
+        # The live lease and the unresolved quarantine record survive.
+        assert store.read_lease(pending.run_id) is not None
+        assert store.read_failure(other.run_id).quarantined
