@@ -54,6 +54,7 @@ from repro.campaign.store import (
     DEFAULT_LEASE_TTL,
     DEFAULT_MAX_ATTEMPTS,
     StoreError,
+    atomic_write_text,
     migrate_store,
 )
 from repro.util.registry import UnknownComponentError
@@ -144,6 +145,14 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
     p = csub.add_parser(
         "workers",
         help="show live worker leases and the failure/quarantine ledger",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="refresh the view continuously until Ctrl-C",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch refreshes (default: 2)",
     )
     common(p)
 
@@ -443,7 +452,30 @@ def _cmd_workers(spec: CampaignSpec, args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    now = time.time()
+    if not args.watch:
+        _render_workers(spec, store, time.time())
+        return 0
+    # Live refresh: ANSI home+clear then a fresh render, until Ctrl-C.
+    # Each frame re-reads leases and the failure ledger from disk, so a
+    # watching terminal tracks takeovers/retries as workers write them.
+    try:
+        while True:
+            print("\x1b[H\x1b[2J", end="")
+            now = time.time()
+            stamp = time.strftime("%H:%M:%S", time.localtime(now))
+            print(
+                f"[{stamp}] watching every {args.interval:g}s "
+                "(Ctrl-C to stop)"
+            )
+            _render_workers(spec, store, now)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _render_workers(spec: CampaignSpec, store, now: float) -> None:
     leases = store.iter_leases()
     print(f"campaign {spec.name}: {len(leases)} leases")
     for lease in leases:
@@ -467,7 +499,6 @@ def _cmd_workers(spec: CampaignSpec, args: argparse.Namespace) -> int:
             f"{record.attempts}/{record.max_attempts} [{state}] "
             f"last worker {record.worker}: {error}"
         )
-    return 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -558,8 +589,8 @@ def _cmd_figures(spec: CampaignSpec, args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     for figure in figures:
         stem = out_dir / figure.figure_id
-        stem.with_suffix(".txt").write_text(
-            format_figure(figure) + "\n", encoding="utf-8"
+        atomic_write_text(
+            stem.with_suffix(".txt"), format_figure(figure) + "\n"
         )
         write_csv(figure, stem.with_suffix(".csv"))
         write_json(figure_to_dict(figure), stem.with_suffix(".json"))

@@ -126,6 +126,45 @@ DEFAULT_BACKOFF_CAP = 60.0
 _GZIP_MAGIC = b"\x1f\x8b"
 
 
+def atomic_write_bytes(path: Path, data: bytes) -> Path:
+    """Atomic byte write: unique temp file in the same directory,
+    fsync, then rename.
+
+    The temp name comes from :func:`tempfile.mkstemp`, so two
+    processes filing the same ``run_id`` concurrently (two resumed
+    campaigns, ``jobs=N`` workers sharing a :class:`StoreCache`)
+    each write their own file and the last rename wins whole — a
+    fixed ``<path>.tmp`` name would interleave their writes into
+    one file and rename a torn artifact into place.
+
+    Every durable file under a campaign directory goes through this
+    (or the store's JSON wrapper); ``repro lint``'s ``atomic-write``
+    rule enforces that statically.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Atomic UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
 class StoreError(RuntimeError):
     """A store artifact that cannot be read back."""
 
@@ -1161,33 +1200,8 @@ class CampaignStore:
         return self._write_atomic(path, data)
 
     def _write_atomic(self, path: Path, data: bytes) -> Path:
-        """Atomic byte write: unique temp file in the same directory,
-        fsync, then rename.
-
-        The temp name comes from :func:`tempfile.mkstemp`, so two
-        processes filing the same ``run_id`` concurrently (two resumed
-        campaigns, ``jobs=N`` workers sharing a :class:`StoreCache`)
-        each write their own file and the last rename wins whole — a
-        fixed ``<path>.tmp`` name would interleave their writes into
-        one file and rename a torn artifact into place.
-        """
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as f:
-                f.write(data)
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        """Atomic byte write (see :func:`atomic_write_bytes`)."""
+        return atomic_write_bytes(path, data)
 
     @staticmethod
     def _check_schema(payload: dict, path: Path) -> None:

@@ -26,7 +26,7 @@ tables, per Figure 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.core.config import MaficConfig

@@ -13,7 +13,7 @@ Tables are keyed by :class:`~repro.core.labels.FlowLabel` (hashed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.labels import FlowLabel

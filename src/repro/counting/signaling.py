@@ -22,7 +22,7 @@ trigger is modelled as immediate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import networkx as nx

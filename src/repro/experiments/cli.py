@@ -27,6 +27,7 @@ import sys
 
 from repro.attacks.scenarios import ATTACKS
 from repro.campaign import cli as campaign_cli
+from repro.lint import cli as lint_cli
 from repro.core.defenses import DEFENSES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
@@ -203,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the data table to this file")
 
     campaign_cli.add_parser(sub)
+    lint_cli.add_parser(sub)
 
     sub.add_parser("list", help="list the available figures")
     sub.add_parser("presets", help="list the named experiment presets")
@@ -428,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "campaign":
         return campaign_cli.cmd(args)
+    if args.command == "lint":
+        return lint_cli.cmd(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "presets":

@@ -1,0 +1,68 @@
+"""The committed findings baseline.
+
+The baseline is the escape hatch that lets the ``--check`` gate land on
+a tree with known, adjudicated debt: a JSON file of finding
+fingerprints that the gate tolerates.  Fingerprints are
+content-addressed (rule + path + stripped source line), so unrelated
+edits that shift line numbers do not invalidate the baseline, while
+touching the offending line itself does — exactly when a human should
+re-look.
+
+Policy: the baseline ships **empty**.  New findings are fixed or carry
+an inline ``# repro: allow[rule-id] <reason>``; the baseline exists for
+the transitional case where a rule tightens faster than the tree can
+follow, and every entry in it is expected to drain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.analyzer import LintReport
+from repro.lint.findings import Finding
+
+BASELINE_NAME = "lint-baseline.json"
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The baselined fingerprints (empty set for a missing file)."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    return {
+        entry["fingerprint"] for entry in payload.get("findings", ())
+    }
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline (sorted, stable)."""
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def partition(
+    report: LintReport, baselined: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split a report's findings into (new, tolerated-by-baseline)."""
+    new: list[Finding] = []
+    tolerated: list[Finding] = []
+    for finding in report.all_findings:
+        if finding.fingerprint in baselined:
+            tolerated.append(finding)
+        else:
+            new.append(finding)
+    return new, tolerated

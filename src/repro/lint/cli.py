@@ -1,0 +1,142 @@
+"""``repro lint`` — run the invariant analyzer from the command line.
+
+Modes:
+
+* default — print findings (baselined ones annotated), always exit 0;
+  the reporting mode for local exploration.
+* ``--check`` — the CI gate: exit 1 if any finding is neither
+  suppressed inline nor in the baseline.
+* ``--json`` — machine-readable report (findings, suppressed,
+  baselined, file count) for tooling.
+* ``--write-baseline`` — adjudicate current findings into the baseline
+  file (review the diff before committing it; the baseline is meant to
+  stay empty).
+* ``--list-rules`` — the rule roster with each invariant's rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.analyzer import RULES, analyze, load_rules
+from repro.lint.baseline import (
+    BASELINE_NAME,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+
+
+def _default_root() -> Path:
+    """The repo root when running from a checkout, else the CWD.
+
+    Anchored on the installed package location: ``src/repro`` two
+    levels up from this file's parent means the checkout layout.
+    """
+    package_dir = Path(__file__).resolve().parent.parent
+    if package_dir.parent.name == "src":
+        return package_dir.parent.parent
+    return Path.cwd()
+
+
+def _default_paths(root: Path) -> list[Path]:
+    src = root / "src" / "repro"
+    return [src] if src.is_dir() else [root]
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``lint`` subcommand on the main CLI."""
+    p = sub.add_parser(
+        "lint",
+        help="statically check the repo's determinism/atomicity/"
+        "twin-parity invariants",
+    )
+    p.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories (default: the repro package)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero on any non-baselined finding (the CI gate)",
+    )
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output")
+    p.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    p.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <repo-root>/{BASELINE_NAME})",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline",
+    )
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and exit")
+
+
+def cmd(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+
+    root = _default_root()
+    paths = [Path(p) for p in args.paths] or _default_paths(root)
+    baseline_path = args.baseline or root / BASELINE_NAME
+
+    report = analyze(paths, rules=args.rules, root=root)
+    baselined_fps = load_baseline(baseline_path)
+    new, tolerated = partition(report, baselined_fps)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.all_findings)
+        print(
+            f"wrote {len(report.all_findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if args.as_json:
+        print(json.dumps({
+            "files": report.files,
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in tolerated],
+            "suppressed": [f.to_dict() for f in report.suppressed],
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for finding in tolerated:
+            print(f"{finding.render()}  (baselined)")
+        summary = (
+            f"{report.files} file(s): {len(new)} finding(s), "
+            f"{len(tolerated)} baselined, "
+            f"{len(report.suppressed)} suppressed inline"
+        )
+        print(summary, file=sys.stderr)
+
+    if args.check and new:
+        print(
+            f"lint --check: {len(new)} non-baselined finding(s); fix, "
+            "add `# repro: allow[rule-id] <reason>`, or (last resort) "
+            "re-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _list_rules() -> int:
+    load_rules()
+    for name in RULES.names():
+        rule = RULES.get(name)
+        print(f"{name:<22} {rule.title}")
+        if rule.rationale:
+            print(f"{'':<22} why: {rule.rationale}")
+        if rule.scope:
+            print(f"{'':<22} scope: {', '.join(rule.scope)}")
+    return 0

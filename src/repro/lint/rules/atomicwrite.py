@@ -1,0 +1,95 @@
+"""Rule ``atomic-write``: campaign-store writes go through the atomic
+helpers.
+
+The fault-tolerance contract of the campaign layer — chaos tests,
+lease takeover, concurrent same-cell writers, resume-to-byte-identical
+— rests on every durable file appearing *atomically*: write to a
+``tempfile.mkstemp`` sibling, ``fsync``, then ``os.replace`` (or a
+single ``O_APPEND`` write for the index).  A bare ``open(path, "w")``
+under :mod:`repro.campaign` reintroduces torn files that only surface
+as flaky chaos runs.
+
+Flagged: built-in ``open``/``gzip.open``/``io.open`` in any writing
+mode (``w``/``a``/``x``/``+``, or a non-literal mode the rule cannot
+prove safe), and ``Path.write_text``/``write_bytes``.  Not flagged:
+read-mode opens, and ``os.fdopen`` — a file object over an fd is
+already downstream of ``os.open``/``mkstemp``, i.e. inside one of the
+blessed helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.analyzer import LintRule, ModuleSource, register_rule
+from repro.lint.asthelpers import call_name
+from repro.lint.findings import Finding
+
+_OPENERS = frozenset({"open", "io.open", "gzip.open", "bz2.open", "lzma.open"})
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The call's mode string if it implies writing, else ``None``.
+
+    A non-literal mode returns ``"?"`` — the rule flags what it cannot
+    prove read-only, since a silent miss here is a torn artifact later.
+    """
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return None  # defaults to "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        mode = mode_node.value
+        if any(ch in mode for ch in "wax+"):
+            return mode
+        return None
+    return "?"
+
+
+@register_rule
+class AtomicWriteRule(LintRule):
+    id = "atomic-write"
+    title = "campaign files are written via mkstemp+fsync+os.replace only"
+    rationale = (
+        "chaos/resume correctness requires artifacts to appear "
+        "atomically; a bare open(path, 'w') can tear under a crash or "
+        "a concurrent same-cell writer"
+    )
+    scope = ("repro.campaign",)
+
+    def check_module(self, src: ModuleSource) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _OPENERS:
+                mode = _write_mode(node)
+                if mode is not None:
+                    shown = (
+                        "a non-literal mode" if mode == "?"
+                        else f"mode {mode!r}"
+                    )
+                    findings.append(src.finding(
+                        self.id, node,
+                        f"{name}(...) with {shown} bypasses the atomic "
+                        "write helpers (tempfile.mkstemp + fsync + "
+                        "os.replace); route through CampaignStore",
+                    ))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITE_METHODS
+            ):
+                findings.append(src.finding(
+                    self.id, node,
+                    f".{node.func.attr}(...) writes in place; campaign "
+                    "files must appear atomically (mkstemp + fsync + "
+                    "os.replace)",
+                ))
+        return findings

@@ -1,0 +1,182 @@
+"""Rule ``event-kind-registry``: every metric event is declared.
+
+:data:`repro.obs.events.EVENT_TYPES` is the contract between producers
+and every downstream consumer — flight-recorder replay, ``repro serve``
+demux, ``campaign tail`` — because :func:`event_from_dict` silently
+returns ``None`` for kinds it does not know.  An event class that is
+defined (anywhere) but never entered into ``EVENT_TYPES`` therefore
+*emits fine and replays as nothing*: the least visible failure mode in
+the pipeline.  This rule closes the loop statically:
+
+* inside ``repro.obs.events``: every ``MetricEvent`` subclass carries a
+  ``kind`` string literal, appears in the ``EVENT_TYPES`` construction,
+  and no two classes share a kind;
+* everywhere else under ``repro``: emitted event constructors
+  (``bus.emit(Cls(...))``) resolve to classes declared in
+  ``repro.obs.events`` — locally defined event classes are flagged,
+  since a dict comprehension in another module cannot register them.
+
+When ``repro.obs.events`` is not part of the analyzed file set (single
+-file runs, synthetic trees) the rule skips rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.analyzer import LintRule, Project, ModuleSource, register_rule
+from repro.lint.findings import Finding
+
+EVENTS_MODULE = "repro.obs.events"
+
+
+def declared_events(src: ModuleSource) -> tuple[dict[str, str], set[str]]:
+    """(event class name -> kind literal, names in EVENT_TYPES) from the
+    parsed ``repro.obs.events`` source.
+
+    Event classes are found structurally: any class whose base chain
+    (within the module) reaches ``MetricEvent``.
+    """
+    bases: dict[str, list[str]] = {}
+    kinds: dict[str, str] = {}
+    registered: set[str] = set()
+    for node in src.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = [
+                b.id for b in node.bases if isinstance(b, ast.Name)
+            ]
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "kind"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    kinds[node.name] = stmt.value.value
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "EVENT_TYPES" in names and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id in bases:
+                        registered.add(sub.id)
+
+    def is_event(name: str, seen: frozenset[str] = frozenset()) -> bool:
+        if name == "MetricEvent":
+            return True
+        if name in seen or name not in bases:
+            return False
+        return any(
+            is_event(base, seen | {name}) for base in bases[name]
+        )
+
+    event_kinds = {
+        name: kinds.get(name, "")
+        for name in bases
+        if name != "MetricEvent" and is_event(name)
+    }
+    return event_kinds, registered
+
+
+@register_rule
+class EventKindRegistryRule(LintRule):
+    id = "event-kind-registry"
+    title = "every emitted event class is declared in EVENT_TYPES"
+    rationale = (
+        "event_from_dict drops unknown kinds silently, so an undeclared "
+        "event records fine and replays as nothing — recordings, serve "
+        "demux, and campaign tail all depend on the registry being total"
+    )
+    scope = ()  # purely cross-file
+    project_wide = True
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        events_src = project.source_for(EVENTS_MODULE)
+        if events_src is None:
+            return ()
+        findings = list(self._check_registry(events_src))
+        declared, _ = declared_events(events_src)
+        for src in project.sources:
+            module = src.module or ""
+            if not module.startswith("repro") or module == EVENTS_MODULE:
+                continue
+            findings.extend(self._check_emits(src, set(declared)))
+        return findings
+
+    def _check_registry(self, src: ModuleSource) -> Iterable[Finding]:
+        declared, registered = declared_events(src)
+        by_kind: dict[str, str] = {}
+        for name in sorted(declared):
+            kind = declared[name]
+            node = next(
+                n for n in src.tree.body
+                if isinstance(n, ast.ClassDef) and n.name == name
+            )
+            if not kind:
+                yield src.finding(
+                    self.id, node,
+                    f"event class {name} has no class-level `kind` "
+                    "string literal",
+                )
+                continue
+            if kind in by_kind:
+                yield src.finding(
+                    self.id, node,
+                    f"event class {name} reuses kind {kind!r} "
+                    f"(already taken by {by_kind[kind]}); demux would "
+                    "deserialize both as one type",
+                )
+            by_kind.setdefault(kind, name)
+            if name not in registered:
+                yield src.finding(
+                    self.id, node,
+                    f"event class {name} (kind {kind!r}) is missing "
+                    "from EVENT_TYPES; event_from_dict will drop it",
+                )
+
+    def _check_emits(
+        self, src: ModuleSource, declared: set[str]
+    ) -> Iterable[Finding]:
+        local_classes = {
+            node.name for node in ast.walk(src.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        imported_events: set[str] = set()
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == EVENTS_MODULE
+            ):
+                imported_events.update(
+                    alias.asname or alias.name for alias in node.names
+                )
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Call)
+                and isinstance(node.args[0].func, ast.Name)
+            ):
+                continue
+            cls = node.args[0].func.id
+            if cls in imported_events and cls not in declared:
+                yield src.finding(
+                    self.id, node,
+                    f"emits {cls}(...), which {EVENTS_MODULE} does not "
+                    "define as an event class",
+                )
+            elif cls in local_classes and cls not in imported_events:
+                yield src.finding(
+                    self.id, node,
+                    f"emits locally defined {cls}(...); event classes "
+                    f"must live in {EVENTS_MODULE} so EVENT_TYPES can "
+                    "register them",
+                )

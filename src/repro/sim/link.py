@@ -9,7 +9,7 @@ may consume (drop) it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue, PacketQueue

@@ -115,9 +115,12 @@ class TrafficMonitor:
 
     def _publish(self, snapshot: MatrixSnapshot) -> None:
         """Emit the epoch's snapshot + scheduler stats onto the bus."""
+        bus = self.bus
+        if not bus:
+            return
         from repro.obs.events import EngineStats, MonitorSnapshot
 
-        self.bus.emit(MonitorSnapshot(
+        bus.emit(MonitorSnapshot(
             time=snapshot.time,
             epoch=len(self.snapshots),
             n_sources=len(snapshot.sources),
@@ -126,7 +129,7 @@ class TrafficMonitor:
             egress_total=float(sum(snapshot.egress_totals.values())),
         ))
         stats = self.sim.queue_stats()
-        self.bus.emit(EngineStats(
+        bus.emit(EngineStats(
             time=snapshot.time,
             backend=stats["backend"],
             events_executed=self.sim.events_executed,

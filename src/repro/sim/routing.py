@@ -15,7 +15,7 @@ import networkx as nx
 from repro.sim.address import Subnet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.node import Node, Router
+    from repro.sim.node import Router
 
 
 class RoutingTable:

@@ -36,7 +36,7 @@ from repro.sim.engine import Simulator
 from repro.sim.link import SimplexLink
 from repro.sim.node import Host, Router
 from repro.sim.queues import DropTailQueue
-from repro.sim.routing import RoutingTable, build_static_routes
+from repro.sim.routing import build_static_routes
 from repro.util.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

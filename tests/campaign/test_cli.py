@@ -232,3 +232,57 @@ def test_migrate_verb_missing_store_exits_2(tmp_path, capsys):
     code = main(["campaign", "migrate", str(tmp_path / "nope")])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+class TestWorkersWatch:
+    """`campaign workers` one-shot and `--watch` live-refresh modes."""
+
+    def _run_campaign(self, spec_path, root):
+        assert main([
+            "campaign", "run", str(spec_path), "--root", root,
+        ]) == 0
+
+    def test_workers_one_shot(self, tmp_path, spec_path, capsys):
+        root = str(tmp_path / "store")
+        self._run_campaign(spec_path, root)
+        assert main([
+            "campaign", "workers", str(spec_path), "--root", root,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "leases" in out and "failure ledger" in out
+
+    def test_watch_refreshes_until_interrupt(
+        self, tmp_path, spec_path, capsys, monkeypatch
+    ):
+        import time as time_module
+
+        root = str(tmp_path / "store")
+        self._run_campaign(spec_path, root)
+
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            if len(sleeps) >= 3:
+                raise KeyboardInterrupt
+        monkeypatch.setattr(time_module, "sleep", fake_sleep)
+
+        code = main([
+            "campaign", "workers", str(spec_path), "--root", root,
+            "--watch", "--interval", "0.5",
+        ])
+        assert code == 0  # Ctrl-C is a clean exit for a watch view
+        assert sleeps == [0.5, 0.5, 0.5]
+        out = capsys.readouterr().out
+        # Three frames rendered, each behind an ANSI clear.
+        assert out.count("\x1b[2J") == 3
+        assert out.count("failure ledger") == 3
+        assert "watching every 0.5s" in out
+
+    def test_watch_requires_existing_store(self, tmp_path, spec_path, capsys):
+        code = main([
+            "campaign", "workers", str(spec_path),
+            "--root", str(tmp_path / "missing"), "--watch",
+        ])
+        assert code == 2
+        assert "no store" in capsys.readouterr().err

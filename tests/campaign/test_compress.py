@@ -8,7 +8,6 @@ files, and cross-compression diffs all behave.
 
 from __future__ import annotations
 
-import gzip
 import json
 
 import pytest
@@ -22,7 +21,7 @@ from repro.campaign.store import (
     StoreError,
 )
 
-from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.conftest import fabricate_result
 
 
 def _fill(spec, root, compress: bool) -> CampaignStore:

@@ -18,7 +18,7 @@ from repro.campaign.orchestrator import open_store
 from repro.campaign.store import CampaignStore, StoreError
 from repro.experiments.cli import main
 
-from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.conftest import fabricate_result
 from tests.campaign.schema1 import downgrade_store, write_schema1_manifest
 
 

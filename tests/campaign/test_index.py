@@ -14,9 +14,8 @@ import pytest
 
 from repro.campaign.orchestrator import open_store
 from repro.campaign.query import campaign_report, load_runs
-from repro.campaign.store import CampaignStore
 
-from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.conftest import fabricate_result
 
 
 @pytest.fixture

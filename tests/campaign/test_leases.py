@@ -20,7 +20,7 @@ from repro.campaign.store import (
     Lease,
 )
 
-from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.conftest import fabricate_result
 
 RID = "ab" * 8  # any run_id-shaped string
 

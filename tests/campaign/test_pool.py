@@ -8,7 +8,6 @@ workers on the 4-cell tiny grid.
 
 from __future__ import annotations
 
-import json
 import subprocess
 import sys
 import textwrap
@@ -28,7 +27,7 @@ from repro.campaign.worker import (
 )
 from repro.obs.bus import CallbackSink, EventBus
 
-from tests.campaign.conftest import fabricate_result, tiny_spec
+from tests.campaign.conftest import fabricate_result
 
 
 def _prepared(spec, root) -> CampaignStore:

@@ -346,3 +346,44 @@ class TestStoreCache:
         assert batch.results[0].summary == fabricate_result(configs[0]).summary
         assert batch.results[1].events_executed > 0
         assert store.has(configs[1].config_hash())
+
+
+class TestAtomicWriteHelpers:
+    """Regression tests for the module-level atomic write helpers the
+    `atomic-write` lint rule routes campaign code through."""
+
+    def test_atomic_write_text_content_and_no_temp_litter(self, tmp_path):
+        from repro.campaign.store import atomic_write_text
+
+        target = tmp_path / "figures" / "fig4.txt"
+        atomic_write_text(target, "alpha beta\n")
+        assert target.read_text(encoding="utf-8") == "alpha beta\n"
+        # mkstemp siblings must be renamed or unlinked, never left.
+        assert sorted(p.name for p in target.parent.iterdir()) == ["fig4.txt"]
+
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        from repro.campaign.store import atomic_write_text
+
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "long old contents that must vanish\n")
+        atomic_write_text(target, "new\n")
+        assert target.read_text(encoding="utf-8") == "new\n"
+
+    def test_figures_txt_goes_through_atomic_helper(self):
+        """The `campaign figures` .txt writer (the violation this PR
+        fixed) now routes through atomic_write_text."""
+        import ast
+        import inspect
+
+        from repro.campaign import cli as campaign_cli
+
+        src = inspect.getsource(campaign_cli._cmd_figures)
+        tree = ast.parse(src.lstrip())
+        calls = {
+            node.func.attr if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", "")
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+        }
+        assert "atomic_write_text" in calls
+        assert "write_text" not in calls

@@ -8,12 +8,11 @@ import numpy as np
 import pytest
 
 from repro.core.config import MaficConfig
-from repro.core.labels import FlowLabel, label_of_packet
+from repro.core.labels import label_of_packet
 from repro.core.mafic import MaficAgent
 from repro.core.policy import PassthroughPolicy, ProportionalDropPolicy
 from repro.core.tables import TableName
 from repro.sim.address import AddressSpace
-from repro.sim.engine import Simulator
 from repro.sim.node import Router
 from repro.sim.packet import FlowKey, Packet, PacketType
 from repro.sim.trace import EventTrace

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.probe import DupAckProber
-from repro.sim.engine import Simulator
 from repro.sim.node import Router
 from repro.sim.packet import FlowKey, Packet, PacketType
 

@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import MaficConfig
 from repro.core.labels import FlowLabel, label_of_packet
 from repro.core.mafic import MaficAgent
-from repro.core.tables import FlowTables, SftEntry, TableName
+from repro.core.tables import FlowTables, SftEntry
 from repro.sim.address import AddressSpace
 from repro.sim.node import Router
 from repro.sim.packet import FlowKey, Packet

@@ -4,7 +4,6 @@ import pytest
 
 from repro.counting.loglog import LogLogLinkCounter
 from repro.counting.setunion import TrafficMatrixEstimator
-from repro.sim.packet import FlowKey, Packet
 
 
 def _feed(counter, uids):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.experiments.config import DefenseKind, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.metrics.collectors import FlowTruth
 

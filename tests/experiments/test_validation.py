@@ -1,7 +1,5 @@
 """Tests for repro.experiments.validation."""
 
-import pytest
-
 from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
 from repro.experiments.validation import Severity, validate_config
 

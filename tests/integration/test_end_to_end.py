@@ -8,7 +8,7 @@ claims, on small-but-real scenarios.
 import pytest
 
 from repro.attacks.spoofing import SpoofMode, SpoofingModel
-from repro.experiments.config import DefenseKind, ExperimentConfig, TopologyKind
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.metrics.collectors import FlowTruth
 from repro.metrics.timeseries import BandwidthSeries

@@ -1,0 +1,1 @@
+"""Self-tests for the ``repro.lint`` invariant analyzer."""

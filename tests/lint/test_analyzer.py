@@ -1,0 +1,204 @@
+"""Tests for the analyzer core: module naming, suppressions,
+fingerprints, parse errors, and the baseline."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analyzer import (
+    RULES,
+    ModuleSource,
+    analyze,
+    load_rules,
+    module_name_for,
+)
+from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.findings import Finding
+
+
+class TestModuleNameFor:
+    def test_src_layout(self):
+        assert (
+            module_name_for(Path("src/repro/sim/link.py"))
+            == "repro.sim.link"
+        )
+
+    def test_anchors_on_last_repro_component(self):
+        # Synthetic trees (CI's seeded-violation check) resolve too.
+        assert (
+            module_name_for(Path("/tmp/seed/repro/sim/bad.py"))
+            == "repro.sim.bad"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+
+    def test_outside_repro_is_none(self):
+        assert module_name_for(Path("tests/sim/test_link.py")) is None
+
+
+class TestSuppressions:
+    def test_allow_table_parsed(self):
+        src = ModuleSource(
+            "x = 1  # repro: allow[bus-guard] caller guards\n"
+            "# repro: allow[atomic-write, twin-parity]\n"
+            "y = 2\n"
+        )
+        assert src.allows[1] == frozenset({"bus-guard"})
+        assert src.allows[2] == frozenset({"atomic-write", "twin-parity"})
+
+    def test_same_line_and_line_above(self):
+        src = ModuleSource(
+            "# repro: allow[r1]\n"
+            "a = 1\n"
+            "b = 2  # repro: allow[r2]\n"
+        )
+        f1 = Finding(rule="r1", path="<fixture>", line=2, message="m")
+        f2 = Finding(rule="r2", path="<fixture>", line=3, message="m")
+        f3 = Finding(rule="r3", path="<fixture>", line=3, message="m")
+        assert src.is_suppressed(f1)
+        assert src.is_suppressed(f2)
+        assert not src.is_suppressed(f3)
+
+    def test_wildcard(self):
+        src = ModuleSource("a = 1  # repro: allow[*] generated file\n")
+        f = Finding(rule="anything", path="<fixture>", line=1, message="m")
+        assert src.is_suppressed(f)
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding(
+            rule="r", path="p.py", line=10, message="m", snippet="x = 1"
+        )
+        b = Finding(
+            rule="r", path="p.py", line=99, message="m", snippet="x = 1"
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_tracks_content(self):
+        a = Finding(
+            rule="r", path="p.py", line=10, message="m", snippet="x = 1"
+        )
+        b = Finding(
+            rule="r", path="p.py", line=10, message="m", snippet="x = 2"
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_render(self):
+        f = Finding(rule="bus-guard", path="a/b.py", line=7, message="oops")
+        assert f.render() == "a/b.py:7: [bus-guard] oops"
+
+
+class TestAnalyze:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "repro" / "sim"
+        bad.mkdir(parents=True)
+        (bad / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        report = analyze([tmp_path])
+        assert report.files == 1
+        assert [f.rule for f in report.all_findings] == ["parse-error"]
+
+    def test_findings_are_deterministic(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        (pkg / "b.py").write_text(
+            "def f(bus, ev):\n    bus.emit(ev)\n", encoding="utf-8"
+        )
+        first = analyze([tmp_path], root=tmp_path)
+        second = analyze([tmp_path], root=tmp_path)
+        assert [f.to_dict() for f in first.all_findings] == [
+            f.to_dict() for f in second.all_findings
+        ]
+        assert [f.rule for f in first.all_findings] == [
+            "no-wallclock-in-sim", "bus-guard"
+        ]
+        # root-relative display paths, POSIX-style
+        assert first.all_findings[0].path == "repro/sim/a.py"
+
+    def test_suppressed_are_counted_not_dropped(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(
+            "def f(bus, ev):\n"
+            "    bus.emit(ev)  # repro: allow[bus-guard] caller guards\n",
+            encoding="utf-8",
+        )
+        report = analyze([tmp_path], root=tmp_path)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["bus-guard"]
+
+    def test_rule_selection(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(
+            "import time\nt = time.time()\n"
+            "def f(bus, ev):\n    bus.emit(ev)\n",
+            encoding="utf-8",
+        )
+        report = analyze([tmp_path], rules=["bus-guard"])
+        assert [f.rule for f in report.all_findings] == ["bus-guard"]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        load_rules()
+        assert {
+            "no-wallclock-in-sim", "bus-guard", "atomic-write",
+            "event-kind-registry", "slots-on-hotpath", "twin-parity",
+        } <= set(RULES.names())
+
+
+class TestBaseline:
+    def _finding(self, snippet="x = 1"):
+        return Finding(
+            rule="r", path="p.py", line=3, message="m", snippet=snippet
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, [self._finding()])
+        assert load_baseline(path) == {self._finding().fingerprint}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_partition(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        report = analyze([tmp_path], root=tmp_path)
+        baseline = {f.fingerprint for f in report.all_findings}
+        new, tolerated = partition(report, baseline)
+        assert new == [] and len(tolerated) == 1
+        new, tolerated = partition(report, set())
+        assert len(new) == 1 and tolerated == []
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        target = pkg / "a.py"
+        target.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        baseline = {
+            f.fingerprint
+            for f in analyze([tmp_path], root=tmp_path).all_findings
+        }
+        # Unrelated lines above shift the finding; fingerprint holds.
+        target.write_text(
+            "import time\n\n\nPAD = 1\nt = time.time()\n", encoding="utf-8"
+        )
+        new, tolerated = partition(
+            analyze([tmp_path], root=tmp_path), baseline
+        )
+        assert new == [] and len(tolerated) == 1

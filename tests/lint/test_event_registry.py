@@ -1,0 +1,101 @@
+"""Tests for the cross-file ``event-kind-registry`` rule."""
+
+import textwrap
+
+from repro.lint.analyzer import ModuleSource, Project
+from repro.lint.rules.events import EventKindRegistryRule, declared_events
+
+EVENTS_OK = textwrap.dedent("""
+    from dataclasses import dataclass
+
+    @dataclass(slots=True)
+    class MetricEvent:
+        kind = "event"
+        time: float
+
+    @dataclass(slots=True)
+    class Arrival(MetricEvent):
+        kind = "arrival"
+
+    @dataclass(slots=True)
+    class Departure(MetricEvent):
+        kind = "departure"
+
+    EVENT_TYPES: dict = {cls.kind: cls for cls in (Arrival, Departure)}
+""")
+
+
+def project(events_text, *producers):
+    sources = [ModuleSource(events_text, module="repro.obs.events")]
+    for module, text in producers:
+        sources.append(ModuleSource(textwrap.dedent(text), module=module))
+    return Project(sources=sources)
+
+
+def check(events_text, *producers):
+    rule = EventKindRegistryRule()
+    return sorted(
+        rule.check_project(project(events_text, *producers)),
+        key=lambda f: f.sort_key,
+    )
+
+
+class TestDeclaredEvents:
+    def test_structural_discovery(self):
+        src = ModuleSource(EVENTS_OK, module="repro.obs.events")
+        declared, registered = declared_events(src)
+        assert declared == {"Arrival": "arrival", "Departure": "departure"}
+        assert registered == {"Arrival", "Departure"}
+
+
+class TestRegistryChecks:
+    def test_clean_registry(self):
+        assert check(EVENTS_OK) == []
+
+    def test_missing_from_event_types(self):
+        text = EVENTS_OK.replace("(Arrival, Departure)", "(Arrival,)")
+        findings = check(text)
+        assert len(findings) == 1
+        assert "Departure" in findings[0].message
+        assert "EVENT_TYPES" in findings[0].message
+
+    def test_duplicate_kind(self):
+        text = EVENTS_OK.replace('kind = "departure"', 'kind = "arrival"')
+        findings = check(text)
+        assert any("reuses kind" in f.message for f in findings)
+
+    def test_class_without_kind_literal(self):
+        text = EVENTS_OK.replace('    kind = "departure"\n', "    pass\n")
+        findings = check(text)
+        assert any("no class-level `kind`" in f.message for f in findings)
+
+
+class TestEmitChecks:
+    def test_declared_emit_is_clean(self):
+        findings = check(EVENTS_OK, ("repro.sim.prod", """
+            from repro.obs.events import Arrival
+
+            def publish(bus, now):
+                if bus:
+                    bus.emit(Arrival(now))
+        """))
+        assert findings == []
+
+    def test_locally_defined_event_is_flagged(self):
+        findings = check(EVENTS_OK, ("repro.sim.prod", """
+            class RogueEvent:
+                kind = "rogue"
+
+            def publish(bus, ev):
+                if bus:
+                    bus.emit(RogueEvent())
+        """))
+        assert len(findings) == 1
+        assert "RogueEvent" in findings[0].message
+
+    def test_skips_when_events_module_absent(self):
+        rule = EventKindRegistryRule()
+        prod = ModuleSource(
+            "def f(bus, ev):\n    bus.emit(ev)\n", module="repro.sim.prod"
+        )
+        assert list(rule.check_project(Project(sources=[prod]))) == []

@@ -5,7 +5,7 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.metrics.collectors import FlowTruth
-from repro.metrics.flowreport import FlowFate, FlowReport, build_flow_report
+from repro.metrics.flowreport import FlowFate, build_flow_report
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.sim.engine import Simulator
 
 
 class TestScheduling:

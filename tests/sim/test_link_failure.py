@@ -1,10 +1,7 @@
 """Tests for link up/down failure behaviour."""
 
-import pytest
-
 from repro.sim.link import SimplexLink
 from repro.sim.packet import FlowKey, Packet
-from repro.sim.queues import DropTailQueue
 
 
 class _Cap:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
 from repro.sim.link import SimplexLink
 from repro.sim.node import Host, Router
 from repro.sim.packet import FlowKey, Packet, PacketType

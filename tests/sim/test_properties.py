@@ -1,7 +1,5 @@
 """Property-based tests on the simulator substrate."""
 
-import heapq
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

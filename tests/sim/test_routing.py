@@ -4,7 +4,6 @@ import networkx as nx
 import pytest
 
 from repro.sim.address import Subnet
-from repro.sim.engine import Simulator
 from repro.sim.link import SimplexLink
 from repro.sim.node import Router
 from repro.sim.routing import RoutingTable, build_static_routes

@@ -1,7 +1,5 @@
 """Deeper TCP internals: RTO management, Karn's rule, recovery exit."""
 
-import pytest
-
 from repro.sim.packet import FlowKey, Packet, PacketType
 from repro.sim.topology import build_dumbbell
 from repro.transport.sink import AckingSink
